@@ -1,0 +1,55 @@
+// Command nalix-study regenerates the paper's evaluation artifacts: the
+// ease-of-use series of Fig. 11 (time and iterations per task), the
+// search-quality series of Fig. 12 (NaLIX vs keyword search), and Table 7
+// (precision/recall attribution across all / correctly-specified /
+// correctly-parsed queries). Every simulated query runs through the full
+// pipeline against the synthetic DBLP corpus; see DESIGN.md for the
+// simulation model.
+//
+// Usage:
+//
+//	nalix-study [-participants 18] [-seed 2006] [-scale 1] [-trials]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nalix/internal/study"
+)
+
+func main() {
+	participants := flag.Int("participants", 18, "number of simulated participants")
+	seed := flag.Int64("seed", 2006, "simulation seed")
+	scale := flag.Int("scale", 1, "dataset scale factor (1 = the paper's corpus size)")
+	trials := flag.Bool("trials", false, "also dump every individual trial")
+	flag.Parse()
+
+	cfg := study.DefaultConfig()
+	cfg.Participants = *participants
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+
+	fmt.Printf("Running the user study: %d participants × 9 XMP tasks × 2 interfaces (seed %d)\n\n",
+		cfg.Participants, cfg.Seed)
+	res, err := study.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nalix-study:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(study.FormatFig11(res.Fig11()))
+	fmt.Println(study.FormatFig12(res.Fig12()))
+	fmt.Println(study.FormatTable7(res.Table7()))
+
+	if *trials {
+		fmt.Println("individual NaLIX trials:")
+		for _, t := range res.NaLIX {
+			fmt.Printf("  p%02d %-4s iter=%d time=%5.1fs P=%.2f R=%.2f spec=%v parse=%v  %q\n",
+				t.Participant, t.Task, t.Iterations, t.TimeSec,
+				t.PR.Precision, t.PR.Recall, t.SpecifiedCorrectly, t.ParsedCorrectly,
+				t.FinalPhrasing)
+		}
+	}
+}

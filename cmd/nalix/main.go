@@ -1,0 +1,148 @@
+// Command nalix is the interactive natural language query interface: it
+// loads an XML document (or the built-in demo corpora) and answers English
+// questions, showing the generated Schema-Free XQuery, tailored feedback
+// for questions it cannot understand, and the results.
+//
+// Usage:
+//
+//	nalix [-doc file.xml] [-corpus movies|library|dblp] [-tree] [-keyword] [query ...]
+//
+// With query arguments it answers them and exits; without, it reads
+// questions from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nalix"
+	"nalix/internal/dataset"
+	"nalix/internal/xmldb"
+)
+
+func main() {
+	docPath := flag.String("doc", "", "XML file to load")
+	corpus := flag.String("corpus", "library", "built-in corpus when -doc is absent: movies, library, bib or dblp")
+	showTree := flag.Bool("tree", false, "print the dependency parse tree of each query")
+	useKeyword := flag.Bool("keyword", false, "treat input as keyword queries (baseline interface)")
+	flag.Parse()
+
+	eng := nalix.New()
+	name, err := load(eng, *docPath, *corpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nalix:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %s\n", name)
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			answer(eng, q, *showTree, *useKeyword)
+		}
+		return
+	}
+	fmt.Println(`Type an English query ("Find all movies directed by Ron Howard."), or "quit".`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		answer(eng, line, *showTree, *useKeyword)
+	}
+}
+
+func load(eng *nalix.Engine, docPath, corpus string) (string, error) {
+	if docPath != "" {
+		f, err := os.Open(docPath)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		name := filepath.Base(docPath)
+		return name, eng.LoadXML(name, f)
+	}
+	var doc *xmldb.Document
+	switch corpus {
+	case "movies":
+		doc = dataset.Movies()
+	case "library":
+		doc = dataset.Library()
+	case "bib":
+		doc = dataset.Bib()
+	case "dblp":
+		doc = dataset.Generate(1)
+	default:
+		return "", fmt.Errorf("unknown corpus %q (movies, library, bib, dblp)", corpus)
+	}
+	var sb strings.Builder
+	if err := dataset.WriteXML(&sb, doc); err != nil {
+		return "", err
+	}
+	return doc.Name, eng.LoadXMLString(doc.Name, sb.String())
+}
+
+func answer(eng *nalix.Engine, q string, showTree, useKeyword bool) {
+	if useKeyword {
+		hits, err := eng.KeywordSearch("", q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "keyword search:", err)
+			return
+		}
+		fmt.Printf("%d results\n", len(hits))
+		printCapped(hits)
+		return
+	}
+	ans, err := eng.Ask("", q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	if showTree {
+		fmt.Print(ans.ParseTree)
+		for _, b := range ans.Bindings {
+			marks := ""
+			if b.Core {
+				marks += " (core)"
+			}
+			if b.Implicit {
+				marks += " (implicit)"
+			}
+			fmt.Printf("  $%s -> //%s%s\n", b.Var, b.Label, marks)
+		}
+	}
+	for _, f := range ans.Feedback {
+		fmt.Println(f)
+	}
+	if !ans.Accepted {
+		return
+	}
+	fmt.Println("translated query:")
+	for _, line := range strings.Split(strings.TrimRight(ans.XQuery, "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("%d results\n", len(ans.Results))
+	printCapped(ans.Results)
+}
+
+func printCapped(items []string) {
+	const cap = 20
+	for i, r := range items {
+		if i == cap {
+			fmt.Printf("  ... and %d more\n", len(items)-cap)
+			break
+		}
+		fmt.Println("  " + r)
+	}
+}

@@ -1,0 +1,89 @@
+// Command xq evaluates a (Schema-Free) XQuery expression against XML
+// documents: the stand-alone query processor of this repository, exposing
+// the same engine NaLIX translates into, including the mqf() predicate.
+//
+// Usage:
+//
+//	xq -doc bib.xml [-doc more.xml] 'for $b in doc("bib.xml")//book ... return $b'
+//	xq -corpus dblp 'count(doc("dblp.xml")//book)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nalix/internal/dataset"
+	"nalix/internal/xmldb"
+	"nalix/internal/xquery"
+)
+
+type docList []string
+
+func (d *docList) String() string     { return strings.Join(*d, ",") }
+func (d *docList) Set(s string) error { *d = append(*d, s); return nil }
+
+func main() {
+	var docs docList
+	flag.Var(&docs, "doc", "XML file to load (repeatable)")
+	corpus := flag.String("corpus", "", "built-in corpus to load: movies, library, bib or dblp")
+	values := flag.Bool("values", false, "print flattened element/attribute values instead of XML")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xq [-doc file.xml]... [-corpus name] 'query'")
+		os.Exit(2)
+	}
+	eng := xquery.NewEngine()
+	for _, path := range docs {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := xmldb.Parse(filepath.Base(path), f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		eng.AddDocument(doc)
+	}
+	switch *corpus {
+	case "movies":
+		eng.AddDocument(dataset.Movies())
+	case "library":
+		eng.AddDocument(dataset.Library())
+	case "bib":
+		eng.AddDocument(dataset.Bib())
+	case "dblp":
+		eng.AddDocument(dataset.Generate(1))
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown corpus %q", *corpus))
+	}
+	if eng.DefaultDocument() == nil {
+		fatal(fmt.Errorf("no documents loaded (use -doc or -corpus)"))
+	}
+
+	res, err := eng.Query(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *values {
+		for _, v := range xquery.FlattenValues(res) {
+			fmt.Println(v)
+		}
+		return
+	}
+	out := xquery.SerializeSequence(res)
+	if out != "" {
+		fmt.Println(out)
+	}
+	fmt.Fprintf(os.Stderr, "(%d items)\n", len(res))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xq:", err)
+	os.Exit(1)
+}

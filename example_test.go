@@ -1,0 +1,64 @@
+package nalix_test
+
+import (
+	"fmt"
+	"log"
+
+	"nalix"
+)
+
+// Example demonstrates the full interactive loop: a rejected query with
+// feedback, then a reformulation that is translated and evaluated.
+func Example() {
+	engine := nalix.New()
+	err := engine.LoadXMLString("movies.xml", `<movies>
+	  <movie><title>A Beautiful Mind</title><director>Ron Howard</director></movie>
+	  <movie><title>The Lord of the Rings</title><director>Peter Jackson</director></movie>
+	</movies>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Outside the grammar: rejected with a suggestion.
+	ans, err := engine.Ask("", "Find movies as good as possible.")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", ans.Accepted)
+	fmt.Println(ans.Feedback[0])
+
+	// The reformulation is translated into Schema-Free XQuery and run.
+	ans, err = engine.Ask("", `Find the director of "A Beautiful Mind".`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", ans.Accepted)
+	fmt.Println(ans.Results[0])
+
+	// Output:
+	// accepted: false
+	// [error] I do not understand the term "as" in your query. Try rephrasing with "be the same as".
+	// accepted: true
+	// <director>Ron Howard</director>
+}
+
+// ExampleEngine_Query runs raw Schema-Free XQuery, including the mqf()
+// meaningful-relatedness predicate.
+func ExampleEngine_Query() {
+	engine := nalix.New()
+	if err := engine.LoadXMLString("bib.xml", `<bib>
+	  <book><title>Data on the Web</title><author>Dan Suciu</author></book>
+	  <book><title>TCP/IP Illustrated</title><author>W. Stevens</author></book>
+	</bib>`); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := engine.Query(`for $t in doc("bib.xml")//title, $a in doc("bib.xml")//author
+	                          where mqf($t, $a) and $a = "Dan Suciu"
+	                          return $t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.Results[0])
+	// Output:
+	// <title>Data on the Web</title>
+}

@@ -1,0 +1,56 @@
+// Auction: the genericity claim of the paper — the identical pipeline,
+// with zero domain configuration, querying an XMark-style auction site
+// instead of bibliographic data. Demonstrates selection, numeric
+// comparison, per-group aggregation and synonym-based term expansion on a
+// schema the system has never seen.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nalix"
+	"nalix/internal/dataset"
+)
+
+func main() {
+	doc := dataset.Auction(1)
+	var xml strings.Builder
+	if err := dataset.WriteXML(&xml, doc); err != nil {
+		log.Fatal(err)
+	}
+	engine := nalix.New()
+	if err := engine.LoadXMLString("auction.xml", xml.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		`Find the names of persons from "Berlin".`,
+		`Find the auctions where the current is more than 950.`,
+		`Return the highest amount for each auction.`,
+		`Return the name and email of every person from "Seoul".`,
+		`Find persons where the town is "Riga".`, // synonym: town → city
+	}
+	for _, q := range queries {
+		fmt.Println("Q:", q)
+		ans, err := engine.Ask("", q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ans.Accepted {
+			for _, f := range ans.Feedback {
+				fmt.Println("  ", f)
+			}
+			continue
+		}
+		fmt.Printf("  %d results; first few:\n", len(ans.Results))
+		for i, r := range ans.Results {
+			if i == 3 {
+				break
+			}
+			fmt.Println("   →", r)
+		}
+		fmt.Println()
+	}
+}

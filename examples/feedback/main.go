@@ -1,0 +1,61 @@
+// Feedback: the interactive query formulation loop of Sec. 4 — a user
+// whose first attempts fall outside the system's grammar is guided by
+// generated error messages until an acceptable formulation is reached.
+// This mirrors how study participants converged within two iterations on
+// average.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nalix"
+)
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author>W. Stevens</author>
+    <publisher>Addison-Wesley</publisher>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author>Dan Suciu</author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+  </book>
+</bib>`
+
+func main() {
+	engine := nalix.New()
+	if err := engine.LoadXMLString("bib.xml", bibXML); err != nil {
+		log.Fatal(err)
+	}
+
+	// A simulated session: each attempt is what a user might type after
+	// reading the previous feedback.
+	attempts := []string{
+		"books from Addison-Wesley, the recent ones", // no command word
+		"Find every book as recent as 1994.",         // unknown term "as" (Fig. 10)
+		`Find all books published after 1993.`,       // accepted
+	}
+	for i, attempt := range attempts {
+		fmt.Printf("attempt %d> %s\n", i+1, attempt)
+		ans, err := engine.Ask("", attempt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range ans.Feedback {
+			fmt.Println("  ", f)
+		}
+		if !ans.Accepted {
+			fmt.Println()
+			continue
+		}
+		fmt.Println("  accepted; results:")
+		for _, r := range ans.Results {
+			fmt.Println("   →", r)
+		}
+		return
+	}
+}

@@ -1,0 +1,73 @@
+// Movies: the paper's running example (Fig. 1). Shows the three queries of
+// the paper — the invalid Query 1 with its feedback and suggestion
+// (Fig. 10), the aggregate-heavy Query 2 with its full translation
+// (Fig. 9), and the value-join Query 3 — against the movies database
+// extended with a books section.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nalix"
+)
+
+// The database of Fig. 1 in the paper, plus books so Query 3 has a join
+// partner (the paper's Sec. 2 "Gone with the Wind" scenario).
+const libraryXML = `
+<library>
+  <movies>
+    <year>
+      <movie><title>How the Grinch Stole Christmas</title><director>Ron Howard</director></movie>
+      <movie><title>Traffic</title><director>Steven Soderbergh</director></movie>
+      2000
+    </year>
+    <year>
+      <movie><title>A Beautiful Mind</title><director>Ron Howard</director></movie>
+      <movie><title>Tribute</title><director>Steven Soderbergh</director></movie>
+      <movie><title>The Lord of the Rings</title><director>Peter Jackson</director></movie>
+      2001
+    </year>
+  </movies>
+  <books>
+    <book><title>The Lord of the Rings</title><writer>J.R.R. Tolkien</writer></book>
+    <book><title>Gone with the Wind</title><writer>Margaret Mitchell</writer></book>
+  </books>
+</library>`
+
+func main() {
+	engine := nalix.New()
+	if err := engine.LoadXMLString("movies.xml", libraryXML); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		// Query 1 (Fig. 1/Fig. 10): rejected, with a rephrasing hint.
+		"Return every director who has directed as many movies as has Ron Howard.",
+		// Query 2 (Fig. 1/Fig. 9): the reformulation the feedback suggests.
+		"Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.",
+		// Query 3 (Fig. 1): movies whose title is also a book title.
+		"Return the directors of movies, where the title of each movie is the same as the title of a book.",
+		// The Sec. 2 disambiguation example: only movies have directors.
+		`Find the director of "The Lord of the Rings".`,
+	}
+	for i, q := range queries {
+		fmt.Printf("--- query %d: %s\n", i+1, q)
+		ans, err := engine.Ask("", q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range ans.Feedback {
+			fmt.Println("   ", f)
+		}
+		if !ans.Accepted {
+			fmt.Println()
+			continue
+		}
+		fmt.Println(ans.XQuery)
+		for _, v := range ans.Results {
+			fmt.Println("  →", v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: load an XML document, ask an English question, inspect the
+// generated Schema-Free XQuery and the results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nalix"
+)
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author>W. Stevens</author>
+    <publisher>Addison-Wesley</publisher>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author>W. Stevens</author>
+    <publisher>Addison-Wesley</publisher>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author>Serge Abiteboul</author>
+    <author>Peter Buneman</author>
+    <author>Dan Suciu</author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+  </book>
+</bib>`
+
+func main() {
+	engine := nalix.New()
+	if err := engine.LoadXMLString("bib.xml", bibXML); err != nil {
+		log.Fatal(err)
+	}
+
+	questions := []string{
+		`Find the titles of books published by "Addison-Wesley" after 1991.`,
+		`Return every author and the titles of books by the author.`,
+		`Return the total number of books, where the publisher of each book is "Addison-Wesley".`,
+	}
+	for _, q := range questions {
+		fmt.Println("Q:", q)
+		ans, err := engine.Ask("", q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ans.Accepted {
+			for _, f := range ans.Feedback {
+				fmt.Println("  ", f)
+			}
+			continue
+		}
+		fmt.Println("  translated into:")
+		fmt.Println(indent(ans.XQuery, "    "))
+		for _, r := range ans.Results {
+			fmt.Println("  →", r)
+		}
+		fmt.Println()
+	}
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += prefix + line + "\n"
+	}
+	return out[:len(out)-1]
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,3 @@
+module nalix
+
+go 1.22

@@ -1,0 +1,634 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"nalix/internal/nlp"
+	"nalix/internal/xquery"
+)
+
+// construct assembles the final Schema-Free XQuery from the analysis:
+// for-clauses per variable, mqf() joins per related set, comparisons,
+// aggregate grouping/nesting (Fig. 6), quantifier scoping (Fig. 7),
+// ordering, and the return clause (Sec. 3.2.4).
+func (b *builder) construct() {
+	q := &xquery.FLWOR{}
+
+	// Aggregate nesting first: each aggregate may move its target
+	// variable (and that variable's private satellites) into a LET.
+	aggExpr := make(map[*aggregate]xquery.Expr)
+	letCount := 0
+	for _, agg := range b.aggs {
+		letCount++
+		letVar := fmt.Sprintf("vars%d", letCount)
+		var inner xquery.Expr
+		if b.aggUnderCM(agg) {
+			// Fig. 5: a connection marker introducing the aggregate
+			// ("each book with the lowest price") means the attached
+			// variable must EQUAL the aggregate over all instances: the
+			// target variable stays a plain outer variable, and the
+			// aggregate ranges over a fresh copy of the whole domain.
+			b.varCounter++
+			fresh := fmt.Sprintf("v%d", b.varCounter)
+			inner = &xquery.FLWOR{
+				Clauses: []xquery.Clause{{Kind: xquery.ForClause, Var: fresh, Source: b.domainOf(agg.v)}},
+				Return:  &xquery.VarRef{Name: fresh},
+			}
+			q.Clauses = append(q.Clauses, xquery.Clause{
+				Kind: xquery.LetClause, Var: letVar, Source: inner,
+			})
+			b.conds = append(b.conds, condition{
+				cmp: nlp.CmpEq,
+				lhs: operand{v: agg.v},
+				rhs: operand{agg: agg},
+			})
+			aggExpr[agg] = &xquery.FuncCall{
+				Name: agg.fn.String(),
+				Args: []xquery.Expr{&xquery.VarRef{Name: letVar}},
+			}
+			continue
+		}
+		inner = b.buildAggregateLet(agg)
+		q.Clauses = append(q.Clauses, xquery.Clause{
+			Kind: xquery.LetClause, Var: letVar, Source: inner,
+		})
+		var e xquery.Expr = &xquery.FuncCall{
+			Name: agg.fn.String(),
+			Args: []xquery.Expr{&xquery.VarRef{Name: letVar}},
+		}
+		for i := len(agg.outer) - 1; i >= 0; i-- {
+			e = &xquery.FuncCall{Name: agg.outer[i].String(), Args: []xquery.Expr{e}}
+		}
+		aggExpr[agg] = e
+	}
+
+	// Quantified conditions also move their target variable inside.
+	for _, c := range b.conds {
+		for _, op := range []operand{c.lhs, c.rhs} {
+			if op.quant != "" && op.v != nil {
+				op.v.moved = true
+			}
+		}
+	}
+
+	// FOR clauses for every variable still at the outer level.
+	forClauses := []xquery.Clause{}
+	for _, v := range b.vars {
+		if v.moved {
+			continue
+		}
+		forClauses = append(forClauses, xquery.Clause{
+			Kind: xquery.ForClause, Var: v.name, Source: b.domainOf(v),
+		})
+	}
+	q.Clauses = append(forClauses, q.Clauses...)
+
+	// WHERE: mqf per related set (outer members only), then conditions.
+	var where xquery.Expr
+	addWhere := func(e xquery.Expr) {
+		if e == nil {
+			return
+		}
+		if where == nil {
+			where = e
+		} else {
+			where = &xquery.Logical{Op: xquery.OpAnd, Left: where, Right: e}
+		}
+	}
+	for _, grp := range b.groupMembers() {
+		var outer []*variable
+		for _, v := range grp {
+			if !v.moved {
+				outer = append(outer, v)
+			}
+		}
+		if len(outer) >= 2 {
+			addWhere(mqfCall(outer))
+		}
+	}
+	var prev xquery.Expr
+	flushPrev := func() {
+		addWhere(prev)
+		prev = nil
+	}
+	for _, c := range b.conds {
+		if b.conditionMoved(c) {
+			continue
+		}
+		e := b.conditionExpr(c, aggExpr)
+		if e == nil {
+			continue
+		}
+		if c.or && prev != nil {
+			prev = &xquery.Logical{Op: xquery.OpOr, Left: prev, Right: e}
+			continue
+		}
+		flushPrev()
+		prev = e
+	}
+	flushPrev()
+	q.Where = where
+
+	// ORDER BY.
+	firstReturned := b.firstReturnedVar()
+	for _, k := range b.orderKeys {
+		v := k.v
+		if v == nil {
+			v = firstReturned
+		}
+		if v == nil || v.moved {
+			continue
+		}
+		q.OrderBy = append(q.OrderBy, xquery.OrderSpec{
+			Key: &xquery.VarRef{Name: v.name}, Descending: k.desc,
+		})
+	}
+
+	// RETURN.
+	var rets []xquery.Expr
+	for _, v := range b.vars {
+		if v.returned && !v.moved {
+			rets = append(rets, &xquery.VarRef{Name: v.name})
+		}
+	}
+	for _, agg := range b.aggs {
+		if b.aggReturned(agg) {
+			rets = append(rets, aggExpr[agg])
+		}
+	}
+	switch len(rets) {
+	case 0:
+		b.res.Errors = append(b.res.Errors, Feedback{
+			Kind: Error, Code: "no-return",
+			Message:    "I could not determine what your query asks to be returned.",
+			Suggestion: `Name the elements to return right after the command word, e.g. "Return the titles ...".`,
+		})
+		return
+	case 1:
+		q.Return = rets[0]
+	default:
+		q.Return = &xquery.SeqExpr{Items: rets}
+	}
+
+	if len(q.Clauses) == 0 {
+		// Everything was folded into a scalar aggregate over the whole
+		// document; emit `let` only (still a valid FLWOR).
+		b.res.Errors = append(b.res.Errors, Feedback{
+			Kind: Error, Code: "no-return",
+			Message: "The query reduced to nothing iterable.",
+		})
+		return
+	}
+	b.res.Query = q
+}
+
+// domainOf builds the binding sequence for a variable: doc//label, or a
+// parenthesized union for disjunctive labels.
+func (b *builder) domainOf(v *variable) xquery.Expr {
+	docName := ""
+	if b.t.doc != nil {
+		docName = b.t.doc.Name
+	}
+	mk := func(label string) xquery.Expr {
+		return &xquery.PathExpr{
+			Root:  &xquery.DocRef{Name: docName},
+			Steps: []xquery.Step{{Descendant: true, Name: label}},
+		}
+	}
+	if len(v.labels) == 1 {
+		return mk(v.labels[0])
+	}
+	seq := &xquery.SeqExpr{}
+	for _, l := range v.labels {
+		seq.Items = append(seq.Items, mk(l))
+	}
+	return seq
+}
+
+// groupMembers lists the related sets as variable slices.
+func (b *builder) groupMembers() [][]*variable {
+	byGroup := map[int][]*variable{}
+	var order []int
+	for _, v := range b.vars {
+		if _, ok := byGroup[v.group]; !ok {
+			order = append(order, v.group)
+		}
+		byGroup[v.group] = append(byGroup[v.group], v)
+	}
+	out := make([][]*variable, 0, len(order))
+	for _, g := range order {
+		out = append(out, byGroup[g])
+	}
+	return out
+}
+
+func mqfCall(vars []*variable) xquery.Expr {
+	call := &xquery.FuncCall{Name: "mqf"}
+	for _, v := range vars {
+		call.Args = append(call.Args, &xquery.VarRef{Name: v.name})
+	}
+	return call
+}
+
+// buildAggregateLet implements Fig. 6: the LET body grouping the aggregate
+// target per its core (or attachee) variable, and marks moved variables.
+func (b *builder) buildAggregateLet(agg *aggregate) xquery.Expr {
+	v := agg.v
+	anchor := b.anchorOf(v)
+	inner := &xquery.FLWOR{}
+	var where xquery.Expr
+	addWhere := func(e xquery.Expr) {
+		if e == nil {
+			return
+		}
+		if where == nil {
+			where = e
+		} else {
+			where = &xquery.Logical{Op: xquery.OpAnd, Left: where, Right: e}
+		}
+	}
+
+	// Variables moving inside: v plus its satellites (variables related
+	// only to v), excluding the anchor. A returned variable cannot move
+	// — "list the authors ... where the number of authors ..." both
+	// projects and counts the same tokens — so the aggregate ranges
+	// over a fresh copy of the variable instead.
+	aggName := v.name
+	moving := b.satellitesOf(v, anchor)
+	if v.returned {
+		b.varCounter++
+		aggName = fmt.Sprintf("v%d", b.varCounter)
+		moving = []*variable{{name: aggName, labels: v.labels}}
+	}
+
+	// Inner scoping (everything moves inside the LET) applies only when
+	// the aggregate is the query's result over a core token, or when
+	// nothing else could anchor the grouping; an aggregate compared
+	// inside a predicate groups by its anchor even when the counted
+	// token is itself a core (the count is per-anchor, not global).
+	useOuter := anchor != nil && (!v.core || !b.aggReturned(agg))
+	if useOuter {
+		// Outer nesting scope (Fig. 6, first branch): a fresh copy of
+		// the anchor joins the inner query and is value-joined to the
+		// outer anchor.
+		b.varCounter++
+		copyName := fmt.Sprintf("v%d", b.varCounter)
+		inner.Clauses = append(inner.Clauses, xquery.Clause{
+			Kind: xquery.ForClause, Var: copyName, Source: b.domainOf(anchor),
+		})
+		var mqfVars []xquery.Expr
+		mqfVars = append(mqfVars, &xquery.VarRef{Name: copyName})
+		for _, m := range moving {
+			inner.Clauses = append(inner.Clauses, xquery.Clause{
+				Kind: xquery.ForClause, Var: m.name, Source: b.domainOf(m),
+			})
+			mqfVars = append(mqfVars, &xquery.VarRef{Name: m.name})
+			m.moved = true
+		}
+		if len(mqfVars) >= 2 {
+			addWhere(&xquery.FuncCall{Name: "mqf", Args: mqfVars})
+		}
+		addWhere(&xquery.Comparison{
+			Op:   xquery.OpEq,
+			Left: &xquery.VarRef{Name: copyName}, Right: &xquery.VarRef{Name: anchor.name},
+		})
+	} else {
+		// Inner nesting scope (Fig. 6, second branch): everything in
+		// v's related set moves inside, anchor included (unless the
+		// target is returned, in which case the fresh copy from above
+		// is counted instead).
+		if !v.returned {
+			group := b.groupOf(v)
+			moving = nil
+			for _, m := range group {
+				moving = append(moving, m)
+			}
+		}
+		var mqfVars []xquery.Expr
+		for _, m := range moving {
+			inner.Clauses = append(inner.Clauses, xquery.Clause{
+				Kind: xquery.ForClause, Var: m.name, Source: b.domainOf(m),
+			})
+			mqfVars = append(mqfVars, &xquery.VarRef{Name: m.name})
+			m.moved = true
+		}
+		if len(mqfVars) >= 2 {
+			addWhere(&xquery.FuncCall{Name: "mqf", Args: mqfVars})
+		}
+	}
+
+	// Conditions whose variables all moved inside come along.
+	for i, c := range b.conds {
+		if b.conditionMovedInto(c, moving) {
+			addWhere(b.conditionExpr(c, nil))
+			b.markConditionConsumed(i)
+		}
+	}
+	inner.Where = where
+	inner.Return = &xquery.VarRef{Name: aggName}
+	return inner
+}
+
+// aggUnderCM reports whether the aggregate's function token hangs beneath
+// a connection marker attached to a name token (the Fig. 5 pattern:
+// "... with the lowest price").
+func (b *builder) aggUnderCM(agg *aggregate) bool {
+	p := agg.ftNode.Parent
+	if p == nil || Classify(p) != CM {
+		return false
+	}
+	for q := p.Parent; q != nil; q = q.Parent {
+		switch Classify(q) {
+		case NT:
+			return true
+		case PM, GM, MM:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// anchorOf picks the variable an aggregate groups by: the core variable in
+// v's related set, else a variable directly related to v, else any other
+// variable in the set (Fig. 6's "core" selection rule).
+func (b *builder) anchorOf(v *variable) *variable {
+	group := b.groupOf(v)
+	for _, g := range group {
+		if g != v && g.core {
+			return g
+		}
+	}
+	for _, g := range group {
+		if g != v && b.varsDirectlyRelated(v, g) {
+			return g
+		}
+	}
+	for _, g := range group {
+		if g != v {
+			return g
+		}
+	}
+	return nil
+}
+
+func (b *builder) groupOf(v *variable) []*variable {
+	var out []*variable
+	for _, g := range b.vars {
+		if g.group == v.group {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// varsDirectlyRelated implements Def. 9 loosely: some name tokens of the
+// two variables are directly related.
+func (b *builder) varsDirectlyRelated(a, c *variable) bool {
+	for _, u := range a.nts {
+		for _, w := range c.nts {
+			if b.directlyRelated(u, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// satellitesOf lists v plus the variables hanging off v only (directly
+// related to v and to nothing else outside v's subtree), excluding the
+// anchor. These move inside the LET with v.
+func (b *builder) satellitesOf(v *variable, anchor *variable) []*variable {
+	moving := []*variable{v}
+	for _, g := range b.groupOf(v) {
+		if g == v || g == anchor {
+			continue
+		}
+		if !b.varsDirectlyRelated(v, g) {
+			continue
+		}
+		// A satellite must not be related to the anchor or returned.
+		if g.returned || g.core {
+			continue
+		}
+		if anchor != nil && b.varsDirectlyRelated(g, anchor) {
+			continue
+		}
+		moving = append(moving, g)
+	}
+	return moving
+}
+
+// conditionMoved reports whether a condition was consumed by an aggregate
+// LET (its variables all moved inside).
+func (b *builder) conditionMoved(c condition) bool {
+	if c.consumed {
+		return true
+	}
+	for _, op := range []operand{c.lhs, c.rhs} {
+		if op.v != nil && op.v.moved && op.quant == "" {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) conditionMovedInto(c condition, moving []*variable) bool {
+	if c.consumed {
+		return false
+	}
+	in := func(v *variable) bool {
+		for _, m := range moving {
+			if m == v {
+				return true
+			}
+		}
+		return false
+	}
+	anyIn := false
+	for _, op := range []operand{c.lhs, c.rhs} {
+		if op.agg != nil {
+			return false // aggregate comparisons stay at the outer level
+		}
+		if op.v != nil {
+			if in(op.v) {
+				anyIn = true
+			} else {
+				return false
+			}
+		}
+	}
+	return anyIn
+}
+
+func (b *builder) markConditionConsumed(i int) {
+	b.conds[i].consumed = true
+}
+
+// conditionExpr renders one condition to an XQuery expression (Fig. 4's
+// WHERE patterns). aggExpr may be nil when aggregates cannot occur.
+func (b *builder) conditionExpr(c condition, aggExpr map[*aggregate]xquery.Expr) xquery.Expr {
+	lhs := b.operandExpr(c.lhs, aggExpr)
+	rhs := b.operandExpr(c.rhs, aggExpr)
+	if lhs == nil || rhs == nil {
+		return nil
+	}
+	var e xquery.Expr
+	switch c.cmp {
+	case nlp.CmpContains:
+		e = &xquery.FuncCall{Name: "contains", Args: []xquery.Expr{lhs, rhs}}
+	case nlp.CmpPhrase:
+		e = &xquery.FuncCall{Name: "ftcontains", Args: []xquery.Expr{lhs, rhs}}
+	case nlp.CmpStarts:
+		e = &xquery.FuncCall{Name: "starts-with", Args: []xquery.Expr{lhs, rhs}}
+	case nlp.CmpEnds:
+		e = &xquery.FuncCall{Name: "ends-with", Args: []xquery.Expr{lhs, rhs}}
+	default:
+		e = &xquery.Comparison{Op: cmpOpOf(c.cmp), Left: lhs, Right: rhs}
+	}
+	// Quantified subject: wrap into some/every … satisfies (Fig. 7).
+	if c.lhs.quant != "" && c.lhs.v != nil {
+		e = b.quantify(c.lhs, e)
+	}
+	if c.neg {
+		e = &xquery.FuncCall{Name: "not", Args: []xquery.Expr{e}}
+	}
+	return e
+}
+
+// quantify builds the quantifier scoping of Fig. 7: the quantified
+// variable ranges over its related-set domain anchored at the outer
+// variable, and the comparison applies per member.
+func (b *builder) quantify(op operand, cmp xquery.Expr) xquery.Expr {
+	v := op.v
+	anchor := b.anchorOf(v)
+	b.varCounter++
+	qv := fmt.Sprintf("v%d", b.varCounter)
+	// Replace references to $v inside cmp with $qv.
+	cmp = substituteVar(cmp, v.name, qv)
+
+	var domain xquery.Expr
+	if anchor != nil && !anchor.moved {
+		b.varCounter++
+		copyName := fmt.Sprintf("v%d", b.varCounter)
+		domain = &xquery.FLWOR{
+			Clauses: []xquery.Clause{
+				{Kind: xquery.ForClause, Var: copyName, Source: b.domainOf(anchor)},
+				{Kind: xquery.ForClause, Var: v.name, Source: b.domainOf(v)},
+			},
+			Where: &xquery.Logical{
+				Op:   xquery.OpAnd,
+				Left: &xquery.FuncCall{Name: "mqf", Args: []xquery.Expr{&xquery.VarRef{Name: v.name}, &xquery.VarRef{Name: copyName}}},
+				Right: &xquery.Comparison{Op: xquery.OpEq,
+					Left:  &xquery.VarRef{Name: copyName},
+					Right: &xquery.VarRef{Name: anchor.name}},
+			},
+			Return: &xquery.VarRef{Name: v.name},
+		}
+	} else {
+		domain = b.domainOf(v)
+	}
+	every := false
+	negate := false
+	switch op.quant {
+	case "every", "all", "each":
+		every = true
+	case "no":
+		negate = true
+	}
+	var e xquery.Expr = &xquery.Quantified{
+		Every: every, Var: qv, In: domain, Satisfies: cmp,
+	}
+	if negate {
+		e = &xquery.FuncCall{Name: "not", Args: []xquery.Expr{e}}
+	}
+	return e
+}
+
+// substituteVar rewrites VarRef names in an expression tree.
+func substituteVar(e xquery.Expr, from, to string) xquery.Expr {
+	switch x := e.(type) {
+	case *xquery.VarRef:
+		if x.Name == from {
+			return &xquery.VarRef{Name: to}
+		}
+		return x
+	case *xquery.Comparison:
+		return &xquery.Comparison{Op: x.Op,
+			Left: substituteVar(x.Left, from, to), Right: substituteVar(x.Right, from, to)}
+	case *xquery.Logical:
+		return &xquery.Logical{Op: x.Op,
+			Left: substituteVar(x.Left, from, to), Right: substituteVar(x.Right, from, to)}
+	case *xquery.FuncCall:
+		out := &xquery.FuncCall{Name: x.Name}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, substituteVar(a, from, to))
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+func (b *builder) operandExpr(op operand, aggExpr map[*aggregate]xquery.Expr) xquery.Expr {
+	switch {
+	case op.agg != nil:
+		if aggExpr != nil {
+			return aggExpr[op.agg]
+		}
+		return nil
+	case op.v != nil:
+		return &xquery.VarRef{Name: op.v.name}
+	case op.konst:
+		if f, err := strconv.ParseFloat(op.value, 64); err == nil {
+			return &xquery.NumberLit{Value: f}
+		}
+		return &xquery.StringLit{Value: op.value}
+	default:
+		return nil
+	}
+}
+
+func (b *builder) firstReturnedVar() *variable {
+	for _, v := range b.vars {
+		if v.returned {
+			return v
+		}
+	}
+	return nil
+}
+
+// aggReturned reports whether an aggregate's FT chain hangs off the
+// command token (it is what the query returns).
+func (b *builder) aggReturned(agg *aggregate) bool {
+	for p := agg.ftNode.Parent; p != nil; p = p.Parent {
+		switch Classify(p) {
+		case CMT:
+			return true
+		case CM, PM, GM, MM, FT:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func cmpOpOf(k nlp.CmpKind) xquery.CmpOp {
+	switch k {
+	case nlp.CmpNe:
+		return xquery.OpNe
+	case nlp.CmpLt:
+		return xquery.OpLt
+	case nlp.CmpLe:
+		return xquery.OpLe
+	case nlp.CmpGt:
+		return xquery.OpGt
+	case nlp.CmpGe:
+		return xquery.OpGe
+	default:
+		return xquery.OpEq
+	}
+}

@@ -1,0 +1,217 @@
+// Package core implements NaLIX's query translation — the primary
+// contribution of the paper: classifying dependency parse tree nodes into
+// tokens and markers (Tables 1–2), validating the tree against the
+// supported grammar (Table 6) with generated feedback (Sec. 4), and
+// translating valid trees into Schema-Free XQuery (Sec. 3.2): core tokens,
+// token relatedness, variable binding, direct mapping (Fig. 4), connection
+// marker semantics (Fig. 5), grouping/nesting for aggregate functions and
+// quantifiers (Figs. 6–7), and full query construction (Sec. 3.2.4).
+package core
+
+import (
+	"fmt"
+
+	"nalix/internal/nlp"
+	"nalix/internal/ontology"
+	"nalix/internal/xmldb"
+	"nalix/internal/xquery"
+)
+
+// TokenType is the NaLIX token/marker classification of a parse tree node
+// (Tables 1 and 2 of the paper).
+type TokenType uint8
+
+// The token and marker types.
+const (
+	UnknownToken TokenType = iota
+	CMT                    // command token → RETURN clause
+	OBT                    // order-by token → ORDER BY clause
+	FT                     // function token → aggregate function
+	OT                     // operator token → comparison operator
+	VT                     // value token → literal value
+	NT                     // name token → basic variable
+	NEG                    // negation → not()
+	QT                     // quantifier token → some/every
+	CM                     // connection marker
+	MM                     // modifier marker
+	PM                     // pronoun marker
+	GM                     // general marker
+)
+
+// String returns the paper's abbreviation for the type.
+func (t TokenType) String() string {
+	names := [...]string{"?", "CMT", "OBT", "FT", "OT", "VT", "NT", "NEG",
+		"QT", "CM", "MM", "PM", "GM"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "bad-token"
+}
+
+// Classify maps a parse node's syntactic category to its token type.
+func Classify(n *nlp.Node) TokenType {
+	switch n.Cat {
+	case nlp.CatCommand:
+		return CMT
+	case nlp.CatOrder:
+		return OBT
+	case nlp.CatAggregate:
+		return FT
+	case nlp.CatCompare:
+		return OT
+	case nlp.CatValue:
+		return VT
+	case nlp.CatNoun:
+		return NT
+	case nlp.CatNeg:
+		return NEG
+	case nlp.CatQuant:
+		return QT
+	case nlp.CatPrep, nlp.CatVerb:
+		return CM
+	case nlp.CatAdj:
+		return MM
+	case nlp.CatPron:
+		return PM
+	case nlp.CatArticle, nlp.CatAux, nlp.CatComma:
+		return GM
+	default:
+		return UnknownToken
+	}
+}
+
+// FeedbackKind distinguishes errors (query rejected) from warnings (query
+// accepted with a caveat).
+type FeedbackKind uint8
+
+// The feedback kinds.
+const (
+	Error FeedbackKind = iota
+	Warning
+)
+
+// Feedback is one message generated during validation, tailored to the
+// query that caused it (Sec. 4 of the paper).
+type Feedback struct {
+	Kind FeedbackKind
+	// Code identifies the message family for tests and the study
+	// harness ("unknown-term", "no-command", "no-return",
+	// "unmatched-name", "unmatched-value", "pronoun", ...).
+	Code string
+	// Term is the offending word or phrase, when applicable.
+	Term string
+	// Message is the user-facing explanation.
+	Message string
+	// Suggestion is a concrete rephrasing hint, when one exists.
+	Suggestion string
+}
+
+// String renders the feedback as the CLI shows it.
+func (f Feedback) String() string {
+	kind := "error"
+	if f.Kind == Warning {
+		kind = "warning"
+	}
+	s := fmt.Sprintf("[%s] %s", kind, f.Message)
+	if f.Suggestion != "" {
+		s += " " + f.Suggestion
+	}
+	return s
+}
+
+// Translator turns English sentences into Schema-Free XQuery against one
+// document. The zero value is not usable; construct with NewTranslator.
+type Translator struct {
+	doc *xmldb.Document
+	ont *ontology.Ontology
+
+	// DisableCoreTokens turns off core-token identification (Def. 3),
+	// for the ablation benchmarks: every equivalence then falls back to
+	// the identical-name-token rule only.
+	DisableCoreTokens bool
+	// DisableExpansion turns off ontology term expansion (exact label
+	// matches only), for the ablation benchmarks.
+	DisableExpansion bool
+
+	// numericSpans caches per-label numeric value ranges for implicit
+	// name-token resolution (computed once per document).
+	numericSpans map[string]numericSpan
+}
+
+// numericSpan is the numeric profile of one label's leaf values.
+type numericSpan struct {
+	lo, hi  float64
+	numeric int
+	total   int
+}
+
+// NewTranslator returns a Translator for the given document. A nil
+// ontology gets the built-in generic thesaurus.
+func NewTranslator(doc *xmldb.Document, ont *ontology.Ontology) *Translator {
+	if ont == nil {
+		ont = ontology.New()
+	}
+	return &Translator{doc: doc, ont: ont}
+}
+
+// Result is the outcome of translating one sentence.
+type Result struct {
+	// Tree is the classified (and possibly implicit-NT-extended)
+	// dependency parse tree.
+	Tree *nlp.Tree
+	// Errors is non-empty when the query was rejected; Query is then nil.
+	Errors []Feedback
+	// Warnings are advisory messages on accepted queries.
+	Warnings []Feedback
+	// Query is the translated Schema-Free XQuery AST.
+	Query xquery.Expr
+	// XQuery is the canonical printed form of Query.
+	XQuery string
+	// Bindings describes the variable bindings (Table 3 of the paper),
+	// for display and tests.
+	Bindings []Binding
+}
+
+// Valid reports whether the sentence was accepted and translated.
+func (r *Result) Valid() bool { return len(r.Errors) == 0 && r.Query != nil }
+
+// Binding is one row of the variable binding table (Table 3).
+type Binding struct {
+	// Var is the variable name without '$'.
+	Var string
+	// Label is the database label the variable ranges over.
+	Label string
+	// NodeIDs are the parse tree nodes bound to the variable.
+	NodeIDs []int
+	// Core marks variables whose name tokens are core tokens.
+	Core bool
+	// Implicit marks variables created for implicit name tokens.
+	Implicit bool
+}
+
+// Translate runs the full pipeline: parse, classify, validate, translate.
+// A non-nil error is returned only for unparseable (empty) input;
+// query-level problems are reported through Result.Errors.
+func (t *Translator) Translate(sentence string) (*Result, error) {
+	tree, err := nlp.Parse(sentence)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Tree: tree}
+	v := &validator{t: t, tree: tree, res: res}
+	v.run()
+	if len(res.Errors) > 0 {
+		return res, nil
+	}
+	b := &builder{t: t, tree: tree, res: res, labels: v.labels}
+	b.run()
+	if res.Query != nil {
+		// A construction bug must surface as an internal error, never as
+		// a confusing runtime failure downstream.
+		if err := xquery.Check(res.Query); err != nil {
+			return nil, fmt.Errorf("core: internal translation error: %w", err)
+		}
+		res.XQuery = xquery.Print(res.Query)
+	}
+	return res, nil
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"nalix/internal/xmldb"
+	"nalix/internal/xquery"
+)
+
+// moviesXML is the Fig. 1 document of the paper, extended with a books
+// section so Query 3 (movie/book title join) is exercised end to end.
+const moviesXML = `
+<library>
+  <movies>
+    <year>
+      <movie><title>How the Grinch Stole Christmas</title><director>Ron Howard</director></movie>
+      <movie><title>Traffic</title><director>Steven Soderbergh</director></movie>
+      2000
+    </year>
+    <year>
+      <movie><title>A Beautiful Mind</title><director>Ron Howard</director></movie>
+      <movie><title>Tribute</title><director>Steven Soderbergh</director></movie>
+      <movie><title>The Lord of the Rings</title><director>Peter Jackson</director></movie>
+      2001
+    </year>
+  </movies>
+  <books>
+    <book><title>The Lord of the Rings</title><writer>J.R.R. Tolkien</writer></book>
+    <book><title>Data on the Web</title><writer>Dan Suciu</writer></book>
+  </books>
+</library>`
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author>W. Stevens</author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author>W. Stevens</author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author>Serge Abiteboul</author>
+    <author>Peter Buneman</author>
+    <author>Dan Suciu</author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>`
+
+type fixture struct {
+	tr  *Translator
+	eng *xquery.Engine
+}
+
+func newFixture(t testing.TB, name, xml string) *fixture {
+	t.Helper()
+	doc, err := xmldb.ParseString(name, xml)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	eng := xquery.NewEngine()
+	eng.AddDocument(doc)
+	return &fixture{tr: NewTranslator(doc, nil), eng: eng}
+}
+
+func (f *fixture) translate(t testing.TB, q string) *Result {
+	t.Helper()
+	res, err := f.tr.Translate(q)
+	if err != nil {
+		t.Fatalf("Translate(%q): %v", q, err)
+	}
+	return res
+}
+
+// mustValues translates, evaluates, and returns the sorted distinct
+// flattened result values.
+func (f *fixture) mustValues(t testing.TB, q string) []string {
+	t.Helper()
+	res := f.translate(t, q)
+	if !res.Valid() {
+		t.Fatalf("query rejected: %q\nerrors: %v\ntree:\n%s", q, res.Errors, res.Tree)
+	}
+	out, err := f.eng.Eval(res.Query)
+	if err != nil {
+		t.Fatalf("eval failed: %v\nxquery:\n%s", err, res.XQuery)
+	}
+	vals := xquery.FlattenValues(out)
+	set := map[string]bool{}
+	for _, v := range vals {
+		set[v] = true
+	}
+	var uniq []string
+	for v := range set {
+		uniq = append(uniq, v)
+	}
+	sort.Strings(uniq)
+	return uniq
+}
+
+func (f *fixture) mustErrors(t testing.TB, q string) []Feedback {
+	t.Helper()
+	res := f.translate(t, q)
+	if res.Valid() {
+		t.Fatalf("expected rejection for %q, got query:\n%s", q, res.XQuery)
+	}
+	return res.Errors
+}
+
+// --- The paper's running examples (Fig. 1 queries) ---
+
+// TestQuery1Feedback reproduces the Fig. 10 scenario: Query 1 contains the
+// unknown term "as" and is rejected with the "the same as" suggestion.
+func TestQuery1Feedback(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	errs := f.mustErrors(t, "Return every director who has directed as many movies as has Ron Howard.")
+	found := false
+	for _, e := range errs {
+		if e.Code == "unknown-term" && e.Term == "as" {
+			found = true
+			if !strings.Contains(e.Suggestion, "the same as") {
+				t.Errorf("suggestion = %q, want mention of 'the same as'", e.Suggestion)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no unknown-term feedback for 'as': %v", errs)
+	}
+}
+
+// TestQuery2FullTranslation reproduces Fig. 9: the full translation of
+// Query 2 and its evaluation.
+func TestQuery2FullTranslation(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	const q = "Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard."
+	res := f.translate(t, q)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	// Structural expectations from Fig. 9.
+	x := res.XQuery
+	for _, frag := range []string{
+		`for $v1 in doc("movies.xml")//director`,
+		`$v4 in doc("movies.xml")//director`,
+		`let $vars1 :=`,
+		`$vars2 :=`,
+		`where count($vars1) = count($vars2) and $v4 = "Ron Howard"`,
+		`return $v1`,
+	} {
+		if !strings.Contains(x, frag) {
+			t.Errorf("translation missing %q:\n%s", frag, x)
+		}
+	}
+	if n := strings.Count(x, "mqf("); n != 2 {
+		t.Errorf("expected 2 mqf calls (one per LET), got %d:\n%s", n, x)
+	}
+	out, err := f.eng.Eval(res.Query)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	names := map[string]bool{}
+	for _, it := range out {
+		names[strings.TrimSpace(xquery.AtomizeItem(it))] = true
+	}
+	if !names["Ron Howard"] || !names["Steven Soderbergh"] || names["Peter Jackson"] {
+		t.Errorf("directors = %v, want Ron Howard + Steven Soderbergh only", names)
+	}
+}
+
+// TestQuery2Bindings reproduces Table 3: the variable bindings of Query 2.
+func TestQuery2Bindings(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	res := f.translate(t, "Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.")
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	byVar := map[string]Binding{}
+	for _, b := range res.Bindings {
+		byVar[b.Var] = b
+	}
+	if len(byVar) != 4 {
+		t.Fatalf("got %d variables, want 4 (Table 3): %+v", len(byVar), res.Bindings)
+	}
+	// $v1: the two explicit director NTs (nodes 2 and 7 in the paper),
+	// a core token.
+	v1 := byVar["v1"]
+	if v1.Label != "director" || !v1.Core || len(v1.NodeIDs) != 2 {
+		t.Errorf("v1 = %+v, want core director with 2 nodes", v1)
+	}
+	// $v2, $v3: the two movie NTs, distinct variables.
+	if byVar["v2"].Label != "movie" || byVar["v3"].Label != "movie" {
+		t.Errorf("v2/v3 labels = %q/%q, want movie/movie", byVar["v2"].Label, byVar["v3"].Label)
+	}
+	// $v4: the implicit director for "Ron Howard", also core.
+	v4 := byVar["v4"]
+	if v4.Label != "director" || !v4.Implicit || !v4.Core {
+		t.Errorf("v4 = %+v, want implicit core director", v4)
+	}
+}
+
+// TestQuery3Translation reproduces the Query 3 semantics: directors of
+// movies whose title equals a book title.
+func TestQuery3Translation(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	got := f.mustValues(t, "Return the directors of movies, where the title of each movie is the same as the title of a book.")
+	want := []string{"director=Peter Jackson"}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("Query 3 = %v, want %v", got, want)
+	}
+}
+
+// TestQuery3RelatedSets checks the Def. 6 example: {director, movie,
+// title} and {title, book} form separate mqf groups.
+func TestQuery3RelatedSets(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	res := f.translate(t, "Return the directors of movies, where the title of each movie is the same as the title of a book.")
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if n := strings.Count(res.XQuery, "mqf("); n != 2 {
+		t.Errorf("expected 2 mqf groups, got %d:\n%s", n, res.XQuery)
+	}
+	// The two title NTs must be bound to different variables.
+	titles := 0
+	for _, b := range res.Bindings {
+		if b.Label == "title" {
+			titles++
+		}
+	}
+	if titles != 2 {
+		t.Errorf("title variables = %d, want 2", titles)
+	}
+}
+
+// TestSection2Disambiguation: "Find the director of The Lord of the Rings"
+// must return the movie's director even though a book has the same title.
+func TestSection2Disambiguation(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	got := f.mustValues(t, `Find the director of "The Lord of the Rings".`)
+	if len(got) != 1 || got[0] != "director=Peter Jackson" {
+		t.Errorf("got %v, want the movie's director only", got)
+	}
+}
+
+// --- Aggregates, quantifiers, ordering ---
+
+func TestAggregateOuterScope(t *testing.T) {
+	// "Return the lowest price for each book" (Sec. 3.2.3): min is
+	// scoped per book.
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "Return the lowest price for each book.")
+	want := []string{"value=129.95", "value=39.95", "value=65.95"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("per-book min prices = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateConnectionMarker(t *testing.T) {
+	// The paper's Sec. 3.2.3 contrast: "Return each book with the lowest
+	// price" selects the globally cheapest book (Fig. 5 rule), unlike
+	// "the lowest price for each book".
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "Return each book with the lowest price.")
+	want := map[string]bool{
+		"title=Data on the Web":                true,
+		"author=Serge Abiteboul":               true,
+		"author=Peter Buneman":                 true,
+		"author=Dan Suciu":                     true,
+		"publisher=Morgan Kaufmann Publishers": true,
+		"price=39.95":                          true,
+		"year=2000":                            true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cheapest book flatten = %v, want %d values", got, len(want))
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected %q", g)
+		}
+	}
+}
+
+func TestScalarCount(t *testing.T) {
+	// The paper's example: "Return the total number of movies, where the
+	// director of each movie is Ron Howard" — adapted to bib.
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Return the total number of books, where the publisher of each book is "Addison-Wesley".`)
+	if len(got) != 1 || got[0] != "value=2" {
+		t.Errorf("count = %v, want 2", got)
+	}
+}
+
+func TestCountComparison(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "List the title of books where the number of authors is at least 2.")
+	if len(got) != 1 || got[0] != "title=Data on the Web" {
+		t.Errorf("got %v, want Data on the Web only", got)
+	}
+}
+
+func TestQuantifierEvery(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Find the title of books where every author is "W. Stevens".`)
+	// Vacuously true for the editor-only book.
+	want := map[string]bool{
+		"title=TCP/IP Illustrated":                                     true,
+		"title=Advanced Programming in the Unix environment":           true,
+		"title=The Economics of Technology and Content for Digital TV": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %d titles", got, len(want))
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected %q", g)
+		}
+	}
+}
+
+func TestQuantifierSome(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Find the title of books where some author is "Dan Suciu".`)
+	if len(got) != 1 || got[0] != "title=Data on the Web" {
+		t.Errorf("got %v, want Data on the Web", got)
+	}
+}
+
+func TestNegation(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `List the title of books where the publisher is not "Addison-Wesley".`)
+	want := map[string]bool{
+		"title=Data on the Web": true,
+		"title=The Economics of Technology and Content for Digital TV": true,
+	}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("got %v, want the two non-AW titles", got)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, `List the titles of books published by "Addison-Wesley" in alphabetic order.`)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if !strings.Contains(res.XQuery, "order by $v1") {
+		t.Errorf("missing order by:\n%s", res.XQuery)
+	}
+	out, err := f.eng.Eval(res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var titles []string
+	for _, it := range out {
+		titles = append(titles, strings.TrimSpace(xquery.AtomizeItem(it)))
+	}
+	if len(titles) != 2 || titles[0] > titles[1] {
+		t.Errorf("titles not sorted: %v", titles)
+	}
+}
+
+func TestOrderByExplicitKeyDescending(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, "List the title and year of all books sorted by year in descending order.")
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if !strings.Contains(res.XQuery, "descending") {
+		t.Errorf("missing descending:\n%s", res.XQuery)
+	}
+}
+
+// --- Comparisons and values ---
+
+func TestNumericComparisonWithImplicitYear(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Return the title of books published by "Addison-Wesley" after 1991.`)
+	want := map[string]bool{
+		"title=TCP/IP Illustrated":                           true,
+		"title=Advanced Programming in the Unix environment": true,
+	}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("got %v, want both AW titles", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `List all titles that contain the word "Web".`)
+	if len(got) != 1 || got[0] != "title=Data on the Web" {
+		t.Errorf("got %v", got)
+	}
+	got = f.mustValues(t, `Find the titles of books whose author contains "Suciu".`)
+	if len(got) != 1 || got[0] != "title=Data on the Web" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBeforeComparison(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "List the title of books published before 1993.")
+	if len(got) != 1 || got[0] != "title=Advanced Programming in the Unix environment" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTermExpansion(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	// "writers" → author via the ontology.
+	got := f.mustValues(t, `Find the writers of "Data on the Web".`)
+	want := map[string]bool{
+		"author=Serge Abiteboul": true,
+		"author=Peter Buneman":   true,
+		"author=Dan Suciu":       true,
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v, want 3 authors", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected %q", g)
+		}
+	}
+}
+
+// --- Feedback ---
+
+func TestFeedbackNoCommand(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	errs := f.mustErrors(t, "the books published by Addison-Wesley")
+	if errs[0].Code != "no-command" {
+		t.Errorf("code = %q, want no-command", errs[0].Code)
+	}
+}
+
+func TestFeedbackUnmatchedName(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	errs := f.mustErrors(t, "Return the spaceships of every book.")
+	found := false
+	for _, e := range errs {
+		if e.Code == "unmatched-name" && e.Term == "spaceship" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unmatched-name feedback: %v", errs)
+	}
+}
+
+func TestFeedbackUnmatchedNameSuggestion(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	errs := f.mustErrors(t, "Return the titel of every book.")
+	for _, e := range errs {
+		if e.Code == "unmatched-name" {
+			if !strings.Contains(e.Suggestion, "title") {
+				t.Errorf("suggestion = %q, want title hint", e.Suggestion)
+			}
+			return
+		}
+	}
+	t.Errorf("no unmatched-name feedback: %v", errs)
+}
+
+func TestFeedbackUnmatchedValue(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	errs := f.mustErrors(t, `Find all books published by "Elsevier GmbH Internationale".`)
+	found := false
+	for _, e := range errs {
+		if e.Code == "unmatched-value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unmatched-value feedback: %v", errs)
+	}
+}
+
+func TestFeedbackPronounWarning(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, `List books published by "Addison-Wesley" including their titles.`)
+	found := false
+	for _, w := range res.Warnings {
+		if w.Code == "pronoun" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no pronoun warning: %+v", res.Warnings)
+	}
+}
+
+func TestFeedbackEmptyQuery(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	if _, err := f.tr.Translate(""); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+// --- Ablations ---
+
+func TestAblationNoCoreTokens(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	f.tr.DisableCoreTokens = true
+	res := f.translate(t, "Return the directors of movies, where the title of each movie is the same as the title of a book.")
+	if !res.Valid() {
+		t.Skipf("core-token-less translation rejected (acceptable): %v", res.Errors)
+	}
+	// Without core tokens every variable lands in one related set, so a
+	// single mqf over all five variables is emitted — which is
+	// unsatisfiable (director unrelated to book) and returns nothing.
+	out, err := f.eng.Eval(res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("ablated translation unexpectedly returned %d results", len(out))
+	}
+}
+
+func TestAblationNoExpansion(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	f.tr.DisableExpansion = true
+	res := f.translate(t, `Find the writers of "Data on the Web".`)
+	if res.Valid() {
+		t.Error("expected rejection without term expansion")
+	}
+}
+
+// --- Classification table (Table 1/2) ---
+
+func TestClassifyTable(t *testing.T) {
+	f := newFixture(t, "movies.xml", moviesXML)
+	res := f.translate(t, "Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.")
+	counts := map[TokenType]int{}
+	for _, n := range res.Tree.Nodes() {
+		counts[Classify(n)]++
+	}
+	if counts[CMT] != 1 {
+		t.Errorf("CMT = %d, want 1", counts[CMT])
+	}
+	if counts[OT] != 1 {
+		t.Errorf("OT = %d, want 1", counts[OT])
+	}
+	if counts[FT] != 2 {
+		t.Errorf("FT = %d, want 2", counts[FT])
+	}
+	if counts[VT] != 1 {
+		t.Errorf("VT = %d, want 1", counts[VT])
+	}
+	if counts[NT] != 5 { // director×2, movie×2, implicit director
+		t.Errorf("NT = %d, want 5", counts[NT])
+	}
+	if counts[CM] != 2 {
+		t.Errorf("CM = %d, want 2", counts[CM])
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The disjunction extension (the paper lists disjunction support as future
+// work; DESIGN.md §7 implements it): "or" between predicate clauses and
+// between value lists becomes a parenthesized OR in the translation.
+
+func TestDisjunctionBetweenClauses(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Find the title of books where the publisher is "Addison-Wesley" or the publisher is "Kluwer Academic Publishers".`)
+	want := map[string]bool{
+		"title=TCP/IP Illustrated":                                     true,
+		"title=Advanced Programming in the Unix environment":           true,
+		"title=The Economics of Technology and Content for Digital TV": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %d titles", got, len(want))
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected %q", g)
+		}
+	}
+}
+
+func TestDisjunctionValueList(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "Find the title of books published in 1992 or 2000.")
+	want := map[string]bool{
+		"title=Advanced Programming in the Unix environment": true,
+		"title=Data on the Web":                              true,
+	}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("got %v, want the 1992 and 2000 titles", got)
+	}
+}
+
+func TestDisjunctionPrintedWithParens(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, `Find books where the publisher is "Addison-Wesley" or the year is 2000.`)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if !strings.Contains(res.XQuery, "(") || !strings.Contains(res.XQuery, " or ") {
+		t.Errorf("disjunction not parenthesized:\n%s", res.XQuery)
+	}
+	// The printed text must parse back with the same semantics.
+	out, err := f.eng.Query(res.XQuery)
+	if err != nil {
+		t.Fatalf("printed query does not evaluate: %v\n%s", err, res.XQuery)
+	}
+	if len(out) != 3 {
+		t.Errorf("reparsed evaluation = %d results, want 3", len(out))
+	}
+}
+
+func TestConjunctionStillConjoins(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Find the title of books where the publisher is "Addison-Wesley" and the year is after 1993.`)
+	if len(got) != 1 || got[0] != "title=TCP/IP Illustrated" {
+		t.Errorf("got %v, want TCP/IP Illustrated only", got)
+	}
+}
+
+func TestMixedAndOr(t *testing.T) {
+	// a and (b or c): the or-chain groups with its immediate neighbour.
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Find the title of books where the publisher is "Addison-Wesley" and the year is 1992 or 1994.`)
+	want := map[string]bool{
+		"title=TCP/IP Illustrated":                           true,
+		"title=Advanced Programming in the Unix environment": true,
+	}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("got %v, want both AW titles", got)
+	}
+}
+
+// The full-text extension (TeXQuery role, the paper's future work):
+// "contains the phrase" becomes ftcontains() with token-boundary
+// semantics, unlike the substring contains().
+func TestPhraseMatching(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, `Find the titles that contain the phrase "Data on the Web".`)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if !strings.Contains(res.XQuery, "ftcontains(") {
+		t.Errorf("expected ftcontains:\n%s", res.XQuery)
+	}
+	out, err := f.eng.Eval(res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("phrase matches = %d, want 1", len(out))
+	}
+	// Token-boundary semantics: a substring that is not a token sequence
+	// does not match.
+	got := f.mustValues(t, `Find the titles that contain the phrase "ata on the".`)
+	if len(got) != 0 {
+		t.Errorf("sub-token phrase matched: %v", got)
+	}
+}
+
+// Extension: sentence-initial wh-words head a query.
+func TestWhCommand(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, `Which books were published by "Addison-Wesley"?`)
+	if len(got) == 0 {
+		t.Fatal("no results for wh-query")
+	}
+	got2 := f.mustValues(t, `What are the titles of all books?`)
+	if len(got2) != 4 {
+		t.Errorf("titles = %v", got2)
+	}
+}
+
+// Extension: inclusive ranges.
+func TestBetweenRange(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "Find the titles of books published between 1993 and 2000.")
+	want := map[string]bool{
+		"title=TCP/IP Illustrated": true,
+		"title=Data on the Web":    true,
+		"title=The Economics of Technology and Content for Digital TV": true,
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected %q", g)
+		}
+	}
+	// Subject-form: "where the year is between ...".
+	got = f.mustValues(t, "Find the titles of books where the year is between 1992 and 1994.")
+	if len(got) != 2 {
+		t.Errorf("subject-form between = %v", got)
+	}
+}
+
+// Negation through verb connectors ("not published by X") must negate the
+// implicit value predicate, not silently drop the "not".
+func TestNegationThroughConnector(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, `Find the titles of books not published by "Addison-Wesley".`)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if !strings.Contains(res.XQuery, "not(") {
+		t.Fatalf("negation dropped:\n%s", res.XQuery)
+	}
+	got := f.mustValues(t, `Find the titles of books not published by "Addison-Wesley".`)
+	want := map[string]bool{
+		"title=Data on the Web": true,
+		"title=The Economics of Technology and Content for Digital TV": true,
+	}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("got %v", got)
+	}
+}
+
+// "not between" means outside the range, not an empty contradiction.
+func TestNotBetween(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	got := f.mustValues(t, "Find the titles of books where the year is not between 1993 and 2000.")
+	if len(got) != 1 || got[0] != "title=Advanced Programming in the Unix environment" {
+		t.Errorf("got %v, want the 1992 title only", got)
+	}
+}

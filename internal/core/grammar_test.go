@@ -1,0 +1,200 @@
+package core
+
+import "testing"
+
+// TestGrammarAcceptance sweeps the constructs of the supported grammar
+// (Table 6 of the paper): every sentence here must be accepted and
+// translated. The list doubles as living documentation of the system's
+// linguistic coverage.
+func TestGrammarAcceptance(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	accepted := []string{
+		// Command variants (CMT).
+		"Return all books.",
+		"Find every book.",
+		"List the books.",
+		"Show all titles.",
+		"Display the publishers.",
+		"Give me all titles.",
+		"Get every book.",
+		"Retrieve all books.",
+		"What are the titles of books?",
+		// Value predicates via connectors (CM + VT, implicit NTs).
+		`Find all books published by "Addison-Wesley".`,
+		`List books by "W. Stevens".`,
+		`Find books from "Addison-Wesley".`,
+		// Comparisons (OT).
+		`Find books where the year is 1994.`,
+		`Find books where the year is after 1991.`,
+		`Find books where the year is before 1993.`,
+		`Find books where the year is at least 1994.`,
+		`Find books where the year is at most 1992.`,
+		`Find books where the price is more than 50.`,
+		`Find books where the price is less than 50.`,
+		`Find books where the publisher is not "Springer".`,
+		// String predicates.
+		`List titles that contain "Web".`,
+		`List titles that start with "TCP".`,
+		`List titles that end with "environment".`,
+		// Aggregates (FT).
+		"Return the number of books.",
+		"Return the lowest price of books.",
+		"Return the highest price of books.",
+		"Return the average price of books.",
+		"Return the lowest price for each book.",
+		"Return each book with the lowest price.",
+		"Find books where the number of authors is more than 2.",
+		// Quantifiers (QT).
+		`Find books where some author is "Dan Suciu".`,
+		`Find books where every author is "W. Stevens".`,
+		`Find books where no author is "Dan Suciu".`,
+		// Ordering (OBT).
+		"List the titles of books in alphabetic order.",
+		"List the titles of books sorted by year.",
+		"List the titles of books in descending order.",
+		// Nesting and joins.
+		"Return the titles of books, where the price of each book is the same as the price of another book.",
+		// Genitives and relative clauses.
+		"Return the book's title.",
+		`Find books whose publisher is "Addison-Wesley".`,
+		`Find the books that contain "Web".`,
+		// Conjunction and disjunction.
+		"List the title and the year of every book.",
+		`Find books where the year is 1992 or the year is 2000.`,
+		// Term expansion.
+		"Return all writers.",
+		"Return the cost of every book.",
+	}
+	for _, q := range accepted {
+		res := f.translate(t, q)
+		if !res.Valid() {
+			t.Errorf("rejected (should be in the grammar): %q\n  %v", q, res.Errors)
+		}
+	}
+}
+
+// TestGrammarRejection sweeps constructs outside the supported grammar:
+// every sentence must be rejected with at least one error, never silently
+// mistranslated into something arbitrary, and never panic.
+func TestGrammarRejection(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	rejected := []string{
+		// No command token.
+		"the books of 1994",
+		"books please",
+		// Unknown comparatives (the paper's Fig. 10 case).
+		"Return books as old as possible.",
+		"Find books better than others.",
+		// Unknown terms.
+		"Frobnicate all books.",
+		"Return the spaceships of books.",
+		// Vocabulary outside the document.
+		"Find the directors of movies.",
+		// Nothing to return.
+		"Return.",
+		"Find where the year is 1994.",
+		// Values not in the database.
+		`Find books published by "Nonexistent Publishing House GmbH".`,
+	}
+	for _, q := range rejected {
+		res := f.translate(t, q)
+		if res.Valid() {
+			t.Errorf("accepted (should be rejected): %q\n%s", q, res.XQuery)
+		} else if len(res.Errors) == 0 {
+			t.Errorf("rejected without any feedback: %q", q)
+		}
+	}
+}
+
+// TestFeedbackAlwaysActionable checks the Sec. 4 property on the rejection
+// sweep: every error message is non-empty and names either the offending
+// term or a concrete suggestion.
+func TestFeedbackAlwaysActionable(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	rejected := []string{
+		"the books of 1994",
+		"Return books as old as possible.",
+		"Frobnicate all books.",
+		"Return the spaceships of books.",
+		`Find books published by "Nonexistent Publishing House GmbH".`,
+	}
+	for _, q := range rejected {
+		res := f.translate(t, q)
+		if res.Valid() {
+			t.Fatalf("expected rejection: %q", q)
+		}
+		for _, e := range res.Errors {
+			if e.Message == "" {
+				t.Errorf("%q: empty error message", q)
+			}
+			if e.Suggestion == "" && e.Term == "" {
+				t.Errorf("%q: error %q has neither term nor suggestion", q, e.Message)
+			}
+		}
+	}
+}
+
+// TestTranslationsEvaluate runs every accepted grammar sentence through
+// the evaluator: a translation that cannot be executed is a translator
+// bug even when the grammar accepted the sentence.
+func TestTranslationsEvaluate(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	queries := []string{
+		"Return all books.",
+		`Find all books published by "Addison-Wesley".`,
+		"Return the lowest price for each book.",
+		"Return each book with the lowest price.",
+		`Find books where every author is "W. Stevens".`,
+		"List the titles of books sorted by year.",
+		"Return the number of books.",
+		`Find books where the year is 1992 or the year is 2000.`,
+		"Return the titles of books, where the price of each book is the same as the price of another book.",
+	}
+	for _, q := range queries {
+		res := f.translate(t, q)
+		if !res.Valid() {
+			t.Errorf("rejected: %q (%v)", q, res.Errors)
+			continue
+		}
+		if _, err := f.eng.Eval(res.Query); err != nil {
+			t.Errorf("translation of %q does not evaluate: %v\n%s", q, err, res.XQuery)
+		}
+	}
+}
+
+// TestNoPanicOnAdversarialInput throws malformed and adversarial input at
+// the full pipeline; everything must come back as a normal (possibly
+// rejected) result.
+func TestNoPanicOnAdversarialInput(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	inputs := []string{
+		"?",
+		"...",
+		"and and and",
+		"Return",
+		"Return the",
+		"Return the the the book",
+		`Find "unterminated`,
+		"Find books where where where",
+		"of of of",
+		"Return every every book",
+		"READ ME THE BOOKS NOW",
+		"Return \x00 books",
+		"Find books published by",
+		"1994",
+		`"Addison-Wesley"`,
+		"Return the number of the number of the number of books.",
+		"Find books where the number of is at least 2.",
+	}
+	for _, q := range inputs {
+		res, err := f.tr.Translate(q)
+		if err != nil {
+			continue // empty-input error is fine
+		}
+		if res.Valid() {
+			// Accepted adversarial input must still evaluate cleanly or
+			// fail with a normal error.
+			_, _ = f.eng.Eval(res.Query)
+		}
+	}
+}

@@ -1,0 +1,740 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nalix/internal/nlp"
+)
+
+// variable is one Schema-Free XQuery basic variable and the name tokens
+// bound to it (Sec. 3.2.2, "Variable Binding").
+type variable struct {
+	name     string
+	labels   []string
+	nts      []*nlp.Node
+	core     bool
+	implicit bool
+	group    int // related-set id (Def. 10)
+
+	returned bool
+	moved    bool // for-clause moved inside a LET/quantifier (Figs. 6–7)
+}
+
+// aggregate is one function token applied to a variable (cmpvar).
+type aggregate struct {
+	fn     nlp.Func
+	outer  []nlp.Func // additional FTs wrapping this one (FT+FT+NT)
+	v      *variable
+	ftNode *nlp.Node
+}
+
+// operand is one side of a comparison.
+type operand struct {
+	v     *variable
+	agg   *aggregate
+	value string
+	konst bool
+	quant string // quantifier lemma when the operand is quantified
+}
+
+// condition is one comparison extracted from the parse tree.
+type condition struct {
+	cmp      nlp.CmpKind
+	lhs, rhs operand
+	neg      bool
+	or       bool // disjoined with the preceding condition ("or" clause)
+	consumed bool // folded into an aggregate LET (Fig. 6)
+}
+
+// builder performs the translation of a validated tree (Sec. 3.2).
+type builder struct {
+	t      *Translator
+	tree   *nlp.Tree
+	res    *Result
+	labels map[*nlp.Node][]string
+
+	nts        []*nlp.Node
+	parentNT   map[*nlp.Node]*nlp.Node // effective parent per Def. 4
+	coreSet    map[*nlp.Node]bool
+	varOf      map[*nlp.Node]*variable
+	vars       []*variable
+	aggs       []*aggregate
+	conds      []condition
+	orderKeys  []orderKey
+	usedVT     map[*nlp.Node]bool // VTs consumed by an OT condition
+	varCounter int
+}
+
+type orderKey struct {
+	v    *variable
+	desc bool
+}
+
+func (b *builder) run() {
+	b.collectNTs()
+	b.computeRelations()
+	b.identifyCoreTokens()
+	b.bindVariables()
+	b.markReturned()
+	b.assignGroups()
+	b.collectAggregates()
+	b.collectConditions()
+	b.collectOrderKeys()
+	if len(b.res.Errors) > 0 {
+		return
+	}
+	b.construct()
+	b.recordBindings()
+}
+
+// collectNTs gathers name tokens in pre-order (sentence order).
+func (b *builder) collectNTs() {
+	for _, n := range b.tree.Nodes() {
+		if Classify(n) == NT {
+			b.nts = append(b.nts, n)
+		}
+	}
+}
+
+// effectiveParentNT walks from a node to the nearest NT ancestor, ignoring
+// intervening markers and FT/OT nodes with a single child (Def. 4).
+func (b *builder) effectiveParentNT(n *nlp.Node) *nlp.Node {
+	for p := n.Parent; p != nil; p = p.Parent {
+		switch Classify(p) {
+		case NT:
+			return p
+		case CM, PM, GM, MM, NEG, QT, UnknownToken:
+			continue
+		case FT:
+			continue // FT chains have a single token child in this grammar
+		case OT:
+			// An operator with a single name-bearing side is transparent
+			// ("the publisher is Addison-Wesley" relates publisher to the
+			// book the clause modifies); one with two name sides is a
+			// sub-parse-tree boundary (Def. 2).
+			if nameOperands(p) <= 1 {
+				continue
+			}
+			return nil
+		default:
+			return nil // CMT, OBT, VT stop the walk
+		}
+	}
+	return nil
+}
+
+func (b *builder) computeRelations() {
+	b.parentNT = make(map[*nlp.Node]*nlp.Node, len(b.nts))
+	for _, nt := range b.nts {
+		b.parentNT[nt] = b.effectiveParentNT(nt)
+	}
+}
+
+// directlyRelated implements Def. 4 for two name tokens.
+func (b *builder) directlyRelated(u, v *nlp.Node) bool {
+	return b.parentNT[u] == v || b.parentNT[v] == u
+}
+
+// equivalent implements Def. 1 (name token equivalence).
+func (b *builder) equivalent(u, v *nlp.Node) bool {
+	if u.Implicit != v.Implicit {
+		return false
+	}
+	if u.Implicit {
+		return vtValue(u) == vtValue(v)
+	}
+	return u.Lemma == v.Lemma && modsEqual(u.Mods, v.Mods)
+}
+
+// vtValue returns the value of the VT an implicit NT was created for.
+func vtValue(nt *nlp.Node) string {
+	for _, c := range nt.Children {
+		if Classify(c) == VT {
+			return c.Lemma
+		}
+	}
+	return ""
+}
+
+func modsEqual(a, c []string) bool {
+	if len(a) != len(c) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	cs := append([]string(nil), c...)
+	sort.Strings(as)
+	sort.Strings(cs)
+	for i := range as {
+		if as[i] != cs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// identifyCoreTokens implements Defs. 2–3: name tokens inside an operator
+// sub-parse tree with no descendant name tokens, closed under equivalence.
+func (b *builder) identifyCoreTokens() {
+	b.coreSet = make(map[*nlp.Node]bool)
+	if b.t.DisableCoreTokens {
+		return
+	}
+	// Sub-parse trees: subtrees rooted at OT nodes with >= 2 children.
+	var subRoots []*nlp.Node
+	for _, n := range b.tree.Nodes() {
+		if Classify(n) == OT && len(operandChildren(n)) >= 2 {
+			subRoots = append(subRoots, n)
+		}
+	}
+	inSub := make(map[*nlp.Node]bool)
+	for _, r := range subRoots {
+		var walk func(n *nlp.Node)
+		walk = func(n *nlp.Node) {
+			if Classify(n) == NT {
+				inSub[n] = true
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(r)
+	}
+	hasDescNT := func(nt *nlp.Node) bool {
+		found := false
+		var walk func(n *nlp.Node)
+		walk = func(n *nlp.Node) {
+			for _, c := range n.Children {
+				if Classify(c) == NT {
+					found = true
+					return
+				}
+				walk(c)
+			}
+		}
+		walk(nt)
+		return found
+	}
+	for nt := range inSub {
+		if !hasDescNT(nt) {
+			b.coreSet[nt] = true
+		}
+	}
+	// Equivalence closure (Def. 3(ii)).
+	for changed := true; changed; {
+		changed = false
+		for _, u := range b.nts {
+			if b.coreSet[u] {
+				continue
+			}
+			for v := range b.coreSet {
+				if b.equivalent(u, v) {
+					b.coreSet[u] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// bindVariables implements Sec. 3.2.2: one basic variable per name token,
+// except same-core and identical (Def. 8) tokens share a variable.
+func (b *builder) bindVariables() {
+	b.varOf = make(map[*nlp.Node]*variable)
+	parent := make(map[*nlp.Node]*nlp.Node) // union-find
+	var find func(n *nlp.Node) *nlp.Node
+	find = func(n *nlp.Node) *nlp.Node {
+		if parent[n] == nil || parent[n] == n {
+			return n
+		}
+		r := find(parent[n])
+		parent[n] = r
+		return r
+	}
+	union := func(a, c *nlp.Node) {
+		ra, rc := find(a), find(c)
+		if ra != rc {
+			parent[rc] = ra
+		}
+	}
+	for i := 0; i < len(b.nts); i++ {
+		for j := i + 1; j < len(b.nts); j++ {
+			u, v := b.nts[i], b.nts[j]
+			if !b.equivalent(u, v) {
+				continue
+			}
+			if b.coreSet[u] && b.coreSet[v] {
+				union(u, v) // same core token
+				continue
+			}
+			if b.identical(u, v) {
+				union(u, v)
+			}
+		}
+	}
+	// Materialize variables in sentence order of their first NT.
+	for _, nt := range b.nts {
+		root := find(nt)
+		if v, ok := b.varOf[root]; ok {
+			b.varOf[nt] = v
+			v.nts = append(v.nts, nt)
+			continue
+		}
+		b.varCounter++
+		v := &variable{
+			name:     fmt.Sprintf("v%d", b.varCounter),
+			labels:   b.labels[nt],
+			nts:      []*nlp.Node{nt},
+			core:     b.coreSet[nt],
+			implicit: nt.Implicit,
+		}
+		if len(v.labels) == 0 {
+			v.labels = []string{nt.Lemma}
+		}
+		b.varOf[root] = v
+		b.varOf[nt] = v
+		b.vars = append(b.vars, v)
+	}
+}
+
+// identical implements Def. 8: equivalent, indirectly related, with
+// equivalent direct relatives, and no FT/QT attached.
+func (b *builder) identical(u, v *nlp.Node) bool {
+	if b.directlyRelated(u, v) {
+		return false
+	}
+	if b.ftOrQTAttached(u) || b.ftOrQTAttached(v) {
+		return false
+	}
+	du := b.directRelatives(u)
+	dv := b.directRelatives(v)
+	match := func(xs, ys []*nlp.Node) bool {
+		for _, x := range xs {
+			ok := false
+			for _, y := range ys {
+				if b.equivalent(x, y) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return match(du, dv) && match(dv, du)
+}
+
+func (b *builder) directRelatives(nt *nlp.Node) []*nlp.Node {
+	var out []*nlp.Node
+	for _, o := range b.nts {
+		if o != nt && b.directlyRelated(nt, o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ftOrQTAttached reports whether a function or quantifier token attaches
+// to the name token (its marker-transparent parent chain hits FT/QT before
+// any other token).
+func (b *builder) ftOrQTAttached(nt *nlp.Node) bool {
+	for p := nt.Parent; p != nil; p = p.Parent {
+		switch Classify(p) {
+		case FT, QT:
+			return true
+		case CM, PM, GM, MM, NEG:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// assignGroups computes the related sets of variables (Defs. 5–6, 9–10):
+// connected components over direct relatedness, where same-variable name
+// tokens bridge components (related by core token).
+func (b *builder) assignGroups() {
+	idx := make(map[*variable]int, len(b.vars))
+	for i, v := range b.vars {
+		idx[v] = i
+		v.group = i
+	}
+	parent := make([]int, len(b.vars))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(i int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, c int) { parent[find(c)] = find(a) }
+	for i := 0; i < len(b.nts); i++ {
+		for j := i + 1; j < len(b.nts); j++ {
+			u, v := b.nts[i], b.nts[j]
+			if b.directlyRelated(u, v) {
+				union(idx[b.varOf[u]], idx[b.varOf[v]])
+			}
+		}
+	}
+	// Def. 10: when the query has no core token, all variables are
+	// related (a single join group).
+	hasCore := false
+	for _, v := range b.vars {
+		if v.core {
+			hasCore = true
+			break
+		}
+	}
+	if !hasCore {
+		for i := 1; i < len(b.vars); i++ {
+			union(0, i)
+		}
+	}
+	for i, v := range b.vars {
+		v.group = find(i)
+	}
+	// Engineering completion beyond the paper's definitions: a returned
+	// variable stranded in a singleton set (a conjunct whose shared
+	// modifier attached to its sibling: "the title and authors of
+	// books ...") joins the related set of its sibling returned
+	// variable, so the projection stays coherent instead of producing a
+	// cross product.
+	sizes := map[int]int{}
+	for _, v := range b.vars {
+		sizes[v.group]++
+	}
+	target := -1
+	for _, v := range b.vars {
+		if v.returned && sizes[v.group] > 1 {
+			target = v.group
+			break
+		}
+	}
+	if target >= 0 {
+		for _, v := range b.vars {
+			if v.returned && sizes[v.group] == 1 {
+				v.group = target
+			}
+		}
+	}
+}
+
+// markReturned finds the variables the command token returns: the name
+// tokens attached to the command token (through quantifiers). Aggregates
+// in return position are handled separately (aggReturned).
+func (b *builder) markReturned() {
+	for _, c := range b.tree.Root.Children {
+		switch Classify(c) {
+		case NT:
+			b.varOf[c].returned = true
+		case QT:
+			if h := tokenHead(c); h != nil {
+				b.varOf[h].returned = true
+			}
+		}
+	}
+}
+
+// collectAggregates registers every function token with the variable it
+// attaches to, folding FT chains (FT+FT+NT).
+func (b *builder) collectAggregates() {
+	seen := make(map[*nlp.Node]bool)
+	for _, n := range b.tree.Nodes() {
+		if Classify(n) != FT || seen[n] {
+			continue
+		}
+		// Walk down an FT chain.
+		chain := []*nlp.Node{n}
+		cur := n
+		for len(cur.Children) > 0 && Classify(cur.Children[0]) == FT {
+			cur = cur.Children[0]
+			chain = append(chain, cur)
+			seen[cur] = true
+		}
+		h := tokenHead(cur)
+		if h == nil {
+			b.res.Errors = append(b.res.Errors, Feedback{
+				Kind: Error, Code: "dangling-function", Term: n.Lemma,
+				Message: fmt.Sprintf("The function %q is not applied to anything.", n.Text),
+			})
+			continue
+		}
+		agg := &aggregate{fn: chain[len(chain)-1].Fn, v: b.varOf[h], ftNode: n}
+		for _, o := range chain[:len(chain)-1] {
+			agg.outer = append(agg.outer, o.Fn)
+		}
+		b.aggs = append(b.aggs, agg)
+	}
+}
+
+// aggFor returns the aggregate registered for an FT node (outermost of its
+// chain), if any.
+func (b *builder) aggFor(ft *nlp.Node) *aggregate {
+	for _, a := range b.aggs {
+		if a.ftNode == ft {
+			return a
+		}
+	}
+	return nil
+}
+
+// collectConditions extracts comparisons from operator tokens and implicit
+// value predicates (Fig. 4 patterns).
+func (b *builder) collectConditions() {
+	b.usedVT = make(map[*nlp.Node]bool)
+	for _, n := range b.tree.Nodes() {
+		if Classify(n) == OT {
+			b.conditionsFromOT(n)
+		}
+	}
+	// Remaining value tokens under a name token: var = constant.
+	for _, n := range b.tree.Nodes() {
+		if Classify(n) != VT || b.usedVT[n] {
+			continue
+		}
+		host := b.effectiveParentNT(n)
+		if host == nil {
+			if p := n.Parent; p != nil && Classify(p) == NT {
+				host = p
+			}
+		}
+		if host == nil {
+			continue // a dangling value; nothing to anchor it to
+		}
+		b.conds = append(b.conds, condition{
+			cmp: nlp.CmpEq,
+			lhs: operand{v: b.varOf[host]},
+			rhs: operand{konst: true, value: n.Lemma},
+			or:  n.OrConj || host.OrConj,
+			neg: negatedPath(n),
+		})
+		b.usedVT[n] = true
+	}
+}
+
+func (b *builder) conditionsFromOT(ot *nlp.Node) {
+	neg := false
+	for _, c := range ot.Children {
+		if Classify(c) == NEG {
+			neg = true
+		}
+	}
+	ops := operandChildren(ot)
+	var resolved []operand
+	for _, o := range ops {
+		if op, ok := b.resolveOperand(o); ok {
+			resolved = append(resolved, op)
+		}
+	}
+	if ot.Cmp == nlp.CmpBetween {
+		b.betweenCondition(ot, resolved, neg)
+		return
+	}
+	switch len(resolved) {
+	default:
+		if len(resolved) < 2 {
+			return
+		}
+		// Value-list disjunction: one name compared against several
+		// constants ("the publisher is X or Y") becomes an OR chain.
+		if resolved[0].v != nil && allConst(resolved[1:]) && len(resolved) > 2 {
+			for i, rhs := range resolved[1:] {
+				b.conds = append(b.conds, condition{
+					cmp: ot.Cmp, lhs: resolved[0], rhs: rhs, neg: neg, or: i > 0,
+				})
+			}
+			return
+		}
+		// Over-attached operands (parser imperfection): compare the
+		// first two rather than dropping the predicate silently.
+		b.conds = append(b.conds, condition{cmp: ot.Cmp, lhs: resolved[0], rhs: resolved[1], neg: neg, or: ot.OrConj})
+	case 1:
+		op := resolved[0]
+		if op.konst {
+			// Single constant: compare against the token the OT attaches
+			// to ("titles that contain XML").
+			host := b.effectiveParentNT(ot)
+			if host == nil {
+				return
+			}
+			b.conds = append(b.conds, condition{
+				cmp: ot.Cmp, lhs: operand{v: b.varOf[host]}, rhs: op, neg: neg, or: ot.OrConj,
+			})
+			return
+		}
+		if op.v != nil && op.v.implicit {
+			// Implicit NT operand carries its own constant below:
+			// "books after 1991" → $year > 1991.
+			val := vtValue(op.v.nts[0])
+			b.conds = append(b.conds, condition{
+				cmp: ot.Cmp, lhs: op, rhs: operand{konst: true, value: val}, neg: neg, or: ot.OrConj,
+			})
+			return
+		}
+		// Single name operand: pure structural relation, no comparison.
+	}
+}
+
+// betweenCondition expands a range comparison into an inclusive pair of
+// bounds ("between 1992 and 2000" → $v >= 1992 and $v <= 2000).
+func (b *builder) betweenCondition(ot *nlp.Node, resolved []operand, neg bool) {
+	var subject operand
+	var bounds []operand
+	for _, op := range resolved {
+		switch {
+		case op.konst:
+			bounds = append(bounds, op)
+		case op.v != nil && op.v.implicit:
+			bounds = append(bounds, operand{konst: true, value: vtValue(op.v.nts[0])})
+			if subject.v == nil {
+				subject = operand{v: op.v}
+			}
+		case op.v != nil && subject.v == nil:
+			subject = op
+		}
+	}
+	if subject.v == nil && b.effectiveParentNT(ot) != nil {
+		subject = operand{v: b.varOf[b.effectiveParentNT(ot)]}
+	}
+	if subject.v == nil || len(bounds) < 2 {
+		return
+	}
+	if neg {
+		// "not between lo and hi" = below lo OR above hi.
+		b.conds = append(b.conds,
+			condition{cmp: nlp.CmpLt, lhs: subject, rhs: bounds[0]},
+			condition{cmp: nlp.CmpGt, lhs: subject, rhs: bounds[1], or: true},
+		)
+		return
+	}
+	b.conds = append(b.conds,
+		condition{cmp: nlp.CmpGe, lhs: subject, rhs: bounds[0]},
+		condition{cmp: nlp.CmpLe, lhs: subject, rhs: bounds[1]},
+	)
+}
+
+func allConst(ops []operand) bool {
+	for _, o := range ops {
+		if !o.konst {
+			return false
+		}
+	}
+	return true
+}
+
+// negatedPath reports whether a negation marker governs the connector
+// chain above a value token ("movies not directed by Ron Howard"): the
+// walk ascends through the implicit name token and markers and stops at
+// the first explicit token boundary.
+func negatedPath(vt *nlp.Node) bool {
+	for p := vt.Parent; p != nil; p = p.Parent {
+		for _, c := range p.Children {
+			if Classify(c) == NEG {
+				return true
+			}
+		}
+		switch Classify(p) {
+		case NT:
+			if !p.Implicit {
+				return false
+			}
+		case OT, CMT, OBT:
+			return false
+		}
+	}
+	return false
+}
+
+// resolveOperand turns an operand subtree into a typed operand. Implicit
+// name tokens consume their value child.
+func (b *builder) resolveOperand(n *nlp.Node) (operand, bool) {
+	switch Classify(n) {
+	case VT:
+		b.usedVT[n] = true
+		return operand{konst: true, value: n.Lemma}, true
+	case NT:
+		if n.Implicit {
+			if v := vtChild(n); v != nil {
+				b.usedVT[v] = true
+			}
+		}
+		return operand{v: b.varOf[n]}, true
+	case FT:
+		if agg := b.aggFor(n); agg != nil {
+			return operand{agg: agg}, true
+		}
+	case QT:
+		if h := tokenHead(n); h != nil {
+			return operand{v: b.varOf[h], quant: n.Lemma}, true
+		}
+	case CM, PM, GM, MM:
+		for _, c := range n.Children {
+			if op, ok := b.resolveOperand(c); ok {
+				return op, true
+			}
+		}
+	}
+	return operand{}, false
+}
+
+func vtChild(nt *nlp.Node) *nlp.Node {
+	for _, c := range nt.Children {
+		if Classify(c) == VT {
+			return c
+		}
+	}
+	return nil
+}
+
+// collectOrderKeys maps OBT nodes to order-by keys (Fig. 4).
+func (b *builder) collectOrderKeys() {
+	for _, n := range b.tree.Nodes() {
+		if Classify(n) != OBT {
+			continue
+		}
+		var v *variable
+		if h := tokenHead2(n); h != nil {
+			v = b.varOf[h]
+		}
+		b.orderKeys = append(b.orderKeys, orderKey{v: v, desc: n.Desc})
+	}
+}
+
+// tokenHead2 is tokenHead extended to look through any child subtree.
+func tokenHead2(n *nlp.Node) *nlp.Node {
+	for _, c := range n.Children {
+		switch Classify(c) {
+		case NT:
+			return c
+		case FT, QT, CM:
+			if h := tokenHead2(c); h != nil {
+				return h
+			}
+		}
+	}
+	return nil
+}
+
+// recordBindings fills Result.Bindings (Table 3).
+func (b *builder) recordBindings() {
+	for _, v := range b.vars {
+		bd := Binding{
+			Var:      v.name,
+			Label:    v.labels[0],
+			Core:     v.core,
+			Implicit: v.implicit,
+		}
+		for _, nt := range v.nts {
+			bd.NodeIDs = append(bd.NodeIDs, nt.ID)
+		}
+		sort.Ints(bd.NodeIDs)
+		b.res.Bindings = append(b.res.Bindings, bd)
+	}
+}

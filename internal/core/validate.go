@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nalix/internal/nlp"
+	"nalix/internal/xmldb"
+)
+
+// validator checks a classified parse tree against the supported grammar
+// (Table 6), inserts implicit name tokens (Def. 11), performs term
+// expansion against the document, and collects tailored feedback.
+type validator struct {
+	t    *Translator
+	tree *nlp.Tree
+	res  *Result
+	// labels records, per NT node, the database labels it denotes
+	// (disjunction when several match).
+	labels map[*nlp.Node][]string
+}
+
+func (v *validator) errorf(code, term, suggestion, format string, args ...interface{}) {
+	v.res.Errors = append(v.res.Errors, Feedback{
+		Kind: Error, Code: code, Term: term,
+		Message: fmt.Sprintf(format, args...), Suggestion: suggestion,
+	})
+}
+
+func (v *validator) warnf(code, term, format string, args ...interface{}) {
+	v.res.Warnings = append(v.res.Warnings, Feedback{
+		Kind: Warning, Code: code, Term: term,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *validator) run() {
+	v.labels = make(map[*nlp.Node][]string)
+	root := v.tree.Root
+
+	// 1. A query must start with a command token.
+	if v.tree.SyntheticRoot {
+		v.errorf("no-command", "", `Please start your query with a command word such as "Return", "Find" or "List".`,
+			"I could not find a command word telling me what to do.")
+	}
+
+	// 2. Unknown terms, pronouns, and structural checks, tree-wide.
+	for _, n := range v.tree.Nodes() {
+		switch Classify(n) {
+		case UnknownToken:
+			if n == root {
+				continue
+			}
+			sugg := suggestPhrase(n.Lemma)
+			hint := ""
+			if sugg != "" {
+				hint = fmt.Sprintf("Try rephrasing with %q.", sugg)
+			}
+			v.errorf("unknown-term", n.Lemma, hint,
+				"I do not understand the term %q in your query.", n.Text)
+		case PM:
+			v.warnf("pronoun", n.Lemma,
+				"The pronoun %q may be ambiguous; I assume it refers to the nearest preceding name.", n.Text)
+		case OT:
+			if len(operandChildren(n)) == 0 && !hasNTAncestor(n) {
+				v.errorf("dangling-operator", n.Lemma, `State both sides of the comparison, e.g. "where the year is after 1991".`,
+					"The comparison %q has nothing to compare.", n.Text)
+			}
+		case FT:
+			if len(n.Children) == 0 {
+				v.errorf("dangling-function", n.Lemma, fmt.Sprintf("Say what %q applies to, e.g. %q.", n.Text, n.Text+" books"),
+					"The function %q is not applied to anything.", n.Text)
+			}
+		}
+	}
+	if len(v.res.Errors) > 0 {
+		return
+	}
+
+	// 3. The command must return something.
+	if len(root.Children) == 0 {
+		v.errorf("no-return", root.Lemma, `Tell me what to return, e.g. "Return all books".`,
+			"I could not find what your query asks for.")
+		return
+	}
+
+	// 4. Insert implicit name tokens (Definition 11) and resolve values.
+	v.insertImplicitNTs()
+	if len(v.res.Errors) > 0 {
+		return
+	}
+
+	// 5. Term expansion: every NT must denote database labels.
+	for _, n := range v.tree.Nodes() {
+		if Classify(n) != NT {
+			continue
+		}
+		if n.Implicit {
+			continue // labels were assigned during insertion
+		}
+		labels := v.matchLabels(n.Lemma)
+		if len(labels) == 0 {
+			v.errorf("unmatched-name", n.Lemma, v.suggestLabels(n.Lemma),
+				"Nothing in the database is called %q.", n.Text)
+			continue
+		}
+		v.labels[n] = labels
+		if len(labels) > 1 {
+			v.warnf("ambiguous-name", n.Lemma,
+				"%q matches several element names (%s); I will search all of them.",
+				n.Text, strings.Join(labels, ", "))
+		}
+	}
+}
+
+// matchLabels maps an NT lemma onto document labels, honoring the
+// expansion ablation switch.
+func (v *validator) matchLabels(lemma string) []string {
+	if v.t.doc == nil {
+		return []string{lemma}
+	}
+	if v.t.DisableExpansion {
+		if v.t.doc.HasLabel(lemma) {
+			return []string{lemma}
+		}
+		return nil
+	}
+	return v.t.ont.MatchLabels(lemma, v.t.doc.Labels())
+}
+
+// suggestLabels proposes concrete element names for an unmatched NT.
+func (v *validator) suggestLabels(lemma string) string {
+	if v.t.doc == nil {
+		return ""
+	}
+	labels := v.t.doc.Labels()
+	// Rank by shared prefix length with the lemma.
+	type cand struct {
+		label string
+		score int
+	}
+	var cands []cand
+	for _, l := range labels {
+		s := commonPrefix(l, lemma)
+		if s >= 3 {
+			cands = append(cands, cand{l, s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	if len(cands) > 0 {
+		return fmt.Sprintf("Did you mean %q?", cands[0].label)
+	}
+	show := labels
+	if len(show) > 8 {
+		show = show[:8]
+	}
+	return "The database contains: " + strings.Join(show, ", ") + "."
+}
+
+func commonPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// insertImplicitNTs walks value tokens and inserts implicit name tokens
+// per Definition 11: a VT needs an implicit NT when no name token already
+// names what the value belongs to. The implicit NT's label set comes from
+// the database elements carrying that value.
+func (v *validator) insertImplicitNTs() {
+	for _, n := range v.tree.Nodes() {
+		if Classify(n) != VT {
+			continue
+		}
+		parent := n.Parent
+		if parent == nil {
+			continue
+		}
+		switch Classify(parent) {
+		case NT:
+			continue // already named ("... year 1991")
+		case OT:
+			// A comparison with a name token on the other side needs no
+			// implicit NT ("the publisher is Addison-Wesley"); neither
+			// does one whose attachee names a compatible element
+			// ("titles that contain XML"). A type-incompatible attachee
+			// ("books after 1991") still gets one, naming the element
+			// the value actually lives in (year).
+			if otherOperandIsName(parent, n) {
+				continue
+			}
+			if subject := v.otSubjectNT(parent); subject != nil {
+				switch parent.Cmp {
+				case nlp.CmpContains, nlp.CmpStarts, nlp.CmpEnds, nlp.CmpPhrase:
+					continue // substring/phrase match against the subject
+				}
+				if labelsIntersect(v.subjectLabels(subject), v.valueLabels(n)) {
+					continue
+				}
+			}
+		case CM, CMT, UnknownToken, QT:
+			// "directed by Ron Howard", "Find "Gone with the Wind"" —
+			// fall through and insert.
+		default:
+			continue
+		}
+		labels := v.valueLabels(n)
+		if len(labels) == 0 {
+			v.errorf("unmatched-value", n.Lemma,
+				"Check the spelling, or name the element the value belongs to.",
+				"I could not find anything in the database with the value %q.", n.Text)
+			continue
+		}
+		nt := &nlp.Node{
+			ID:       v.tree.NewNodeID(),
+			Cat:      nlp.CatNoun,
+			Lemma:    labels[0],
+			Implicit: true,
+		}
+		n.InsertAbove(nt)
+		v.labels[nt] = labels
+		if len(labels) > 1 {
+			v.warnf("ambiguous-value", n.Lemma,
+				"%q could be the value of several elements (%s); I will search all of them.",
+				n.Text, strings.Join(labels, ", "))
+		}
+	}
+}
+
+// otSubjectNT returns the name token an operator compares on behalf of:
+// the name token the OT attaches to (its nearest NT ancestor through
+// markers).
+func (v *validator) otSubjectNT(ot *nlp.Node) *nlp.Node {
+	for p := ot.Parent; p != nil; p = p.Parent {
+		switch Classify(p) {
+		case NT:
+			return p
+		case CM, PM, GM, MM, NEG, QT, FT:
+			continue
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// subjectLabels resolves an NT's database labels for the compatibility
+// check (before the main term-expansion pass has run).
+func (v *validator) subjectLabels(nt *nlp.Node) []string {
+	if ls, ok := v.labels[nt]; ok {
+		return ls
+	}
+	return v.matchLabels(nt.Lemma)
+}
+
+func labelsIntersect(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// otherOperandIsName reports whether an OT node has a name-token operand
+// besides the given value child.
+func otherOperandIsName(ot *nlp.Node, vt *nlp.Node) bool {
+	for _, c := range ot.Children {
+		if c == vt {
+			continue
+		}
+		if tokenHead(c) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// tokenHead returns the name-token head beneath an operand node (skipping
+// FT/QT chains), or nil when the operand is a value or marker.
+func tokenHead(n *nlp.Node) *nlp.Node {
+	switch Classify(n) {
+	case NT:
+		return n
+	case FT, QT:
+		for _, c := range n.Children {
+			if h := tokenHead(c); h != nil {
+				return h
+			}
+		}
+	}
+	return nil
+}
+
+// valueLabels finds the database labels whose nodes can carry the value:
+// exact value matches first; for numeric values with no exact match, the
+// labels whose content is numeric and whose range contains the value.
+func (v *validator) valueLabels(vt *nlp.Node) []string {
+	if v.t.doc == nil {
+		return nil
+	}
+	val := vt.Lemma
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range v.t.doc.NodesWithValue(val) {
+		if !seen[n.Label] {
+			seen[n.Label] = true
+			out = append(out, n.Label)
+		}
+	}
+	if len(out) > 0 {
+		sort.Strings(out)
+		return out
+	}
+	if f, err := strconv.ParseFloat(val, 64); err == nil {
+		return v.numericLabels(f)
+	}
+	// Substring fallback: quoted phrases often cite part of a longer
+	// value ("Gone with the Wind" inside a longer title).
+	for _, n := range v.t.doc.NodesContainingValue(val) {
+		if (n.Kind == xmldb.ElementNode || n.Kind == xmldb.AttributeNode) && !seen[n.Label] {
+			seen[n.Label] = true
+			out = append(out, n.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// numericLabels returns labels that hold numbers covering f in their
+// range, so a year like 1991 maps to "year" even when no element has that
+// exact value. Label profiles are computed once per document.
+func (v *validator) numericLabels(f float64) []string {
+	if v.t.numericSpans == nil {
+		spans := map[string]numericSpan{}
+		for _, n := range v.t.doc.Nodes() {
+			if n.Kind != xmldb.ElementNode && n.Kind != xmldb.AttributeNode {
+				continue
+			}
+			// Only leaves hold comparable numbers.
+			leaf := true
+			for _, c := range n.Children {
+				if c.Kind == xmldb.ElementNode {
+					leaf = false
+					break
+				}
+			}
+			if !leaf {
+				continue
+			}
+			s, ok := spans[n.Label]
+			if !ok {
+				s = numericSpan{lo: 1e308, hi: -1e308}
+			}
+			s.total++
+			if x, err := strconv.ParseFloat(strings.TrimSpace(n.Value()), 64); err == nil {
+				s.numeric++
+				if x < s.lo {
+					s.lo = x
+				}
+				if x > s.hi {
+					s.hi = x
+				}
+			}
+			spans[n.Label] = s
+		}
+		v.t.numericSpans = spans
+	}
+	var out []string
+	for label, s := range v.t.numericSpans {
+		if s.numeric == 0 || s.numeric*2 < s.total {
+			continue // mostly non-numeric content
+		}
+		// Allow a margin around the observed range so "after 1991"
+		// resolves to year even when no element holds 1991 exactly.
+		margin := (s.hi - s.lo) * 0.5
+		if m := s.hi * 0.1; m > margin {
+			margin = m
+		}
+		if f >= s.lo-margin && f <= s.hi+margin {
+			out = append(out, label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// operandChildren lists an OT node's operand children (skipping negation
+// markers).
+func operandChildren(ot *nlp.Node) []*nlp.Node {
+	var out []*nlp.Node
+	for _, c := range ot.Children {
+		switch Classify(c) {
+		case NEG, GM, PM:
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// nameOperands counts an OT's operand children that contain a name token.
+func nameOperands(ot *nlp.Node) int {
+	n := 0
+	for _, c := range operandChildren(ot) {
+		if tokenHead(c) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func hasNTAncestor(n *nlp.Node) bool {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if Classify(p) == NT {
+			return true
+		}
+	}
+	return false
+}
+
+// suggestPhrase finds the lexicon phrase closest to an unknown term — the
+// mechanism behind the paper's Fig. 10 example, where "as" elicits the
+// suggestion "the same as".
+func suggestPhrase(term string) string {
+	candidates := nlp.PhrasesContaining(term)
+	if len(candidates) == 0 {
+		return ""
+	}
+	// PhrasesContaining ranks comparison phrases first; take the best.
+	return candidates[0]
+}

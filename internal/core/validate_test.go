@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nalix/internal/nlp"
+)
+
+func TestDanglingFunction(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	errs := f.mustErrors(t, "Return the number of.")
+	found := false
+	for _, e := range errs {
+		if e.Code == "dangling-function" {
+			found = true
+			if !strings.Contains(e.Suggestion, "books") {
+				t.Errorf("suggestion should show a concrete completion: %q", e.Suggestion)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no dangling-function error: %v", errs)
+	}
+}
+
+func TestSuggestLabelsListsVocabulary(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	errs := f.mustErrors(t, "Return the zygote of every book.")
+	for _, e := range errs {
+		if e.Code == "unmatched-name" {
+			if !strings.Contains(e.Suggestion, "author") {
+				t.Errorf("suggestion should list the vocabulary: %q", e.Suggestion)
+			}
+			return
+		}
+	}
+	t.Errorf("no unmatched-name error: %v", errs)
+}
+
+func TestImplicitNTLabelsRecorded(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, `Find all books published by "Addison-Wesley".`)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	implicit := 0
+	for _, n := range res.Tree.Nodes() {
+		if n.Implicit {
+			implicit++
+			if n.Lemma != "publisher" {
+				t.Errorf("implicit NT label = %q, want publisher", n.Lemma)
+			}
+			if Classify(n) != NT {
+				t.Errorf("implicit node classified as %v", Classify(n))
+			}
+		}
+	}
+	if implicit != 1 {
+		t.Errorf("implicit NTs = %d, want 1", implicit)
+	}
+}
+
+func TestImplicitNTAmbiguousValueWarning(t *testing.T) {
+	// A value appearing under two labels yields a disjunctive domain and
+	// a warning.
+	const doc = `<lib>
+	  <book><title>Blue</title><author>Kim</author></book>
+	  <cd><name>Blue</name><artist>Kim</artist></cd>
+	</lib>`
+	f := newFixture(t, "lib.xml", doc)
+	res := f.translate(t, `Find everything by "Kim".`)
+	if res.Valid() {
+		// "everything" is not a label; expect rejection on that, not on
+		// the value.
+		t.Fatalf("unexpectedly accepted:\n%s", res.XQuery)
+	}
+	res = f.translate(t, `Find the book by "Kim".`)
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	warned := false
+	for _, w := range res.Warnings {
+		if w.Code == "ambiguous-value" {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("expected ambiguous-value warning, got %v", res.Warnings)
+	}
+	if !strings.Contains(res.XQuery, "(") {
+		t.Errorf("expected disjunctive domain in for clause:\n%s", res.XQuery)
+	}
+}
+
+func TestAmbiguousNameWarning(t *testing.T) {
+	const doc = `<lib>
+	  <book><name>B</name></book>
+	  <author><name>A</name></author>
+	</lib>`
+	f := newFixture(t, "lib.xml", doc)
+	// "name" appears under two parents but is ONE label; no ambiguity.
+	res := f.translate(t, "Find every name.")
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	for _, w := range res.Warnings {
+		if w.Code == "ambiguous-name" {
+			t.Errorf("unexpected ambiguity warning: %v", w)
+		}
+	}
+}
+
+func TestYearAsExplicitName(t *testing.T) {
+	// "the year 1994": the value token sits directly under its name
+	// token, no implicit insertion needed.
+	f := newFixture(t, "bib.xml", bibXML)
+	res := f.translate(t, "Find the books of the year 1994.")
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	for _, n := range res.Tree.Nodes() {
+		if n.Implicit {
+			t.Errorf("unexpected implicit NT %q", n.Lemma)
+		}
+	}
+	out, err := f.eng.Eval(res.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("books of 1994 = %d, want 1", len(out))
+	}
+}
+
+func TestClassifyAllCategories(t *testing.T) {
+	cases := map[nlp.Category]TokenType{
+		nlp.CatCommand:   CMT,
+		nlp.CatOrder:     OBT,
+		nlp.CatAggregate: FT,
+		nlp.CatCompare:   OT,
+		nlp.CatValue:     VT,
+		nlp.CatNoun:      NT,
+		nlp.CatNeg:       NEG,
+		nlp.CatQuant:     QT,
+		nlp.CatPrep:      CM,
+		nlp.CatVerb:      CM,
+		nlp.CatAdj:       MM,
+		nlp.CatPron:      PM,
+		nlp.CatArticle:   GM,
+		nlp.CatAux:       GM,
+		nlp.CatComma:     GM,
+		nlp.CatUnknown:   UnknownToken,
+	}
+	for cat, want := range cases {
+		if got := Classify(&nlp.Node{Cat: cat}); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", cat, got, want)
+		}
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	for _, tt := range []TokenType{UnknownToken, CMT, OBT, FT, OT, VT, NT, NEG, QT, CM, MM, PM, GM} {
+		if tt.String() == "" || tt.String() == "bad-token" {
+			t.Errorf("TokenType(%d).String() = %q", tt, tt.String())
+		}
+	}
+	if TokenType(200).String() != "bad-token" {
+		t.Error("out-of-range TokenType should stringify as bad-token")
+	}
+}
+
+func TestFeedbackString(t *testing.T) {
+	f := Feedback{Kind: Error, Message: "msg", Suggestion: "sugg"}
+	if got := f.String(); got != "[error] msg sugg" {
+		t.Errorf("String = %q", got)
+	}
+	w := Feedback{Kind: Warning, Message: "msg"}
+	if got := w.String(); got != "[warning] msg" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTranslatorWithoutDocument(t *testing.T) {
+	// A nil document means no term expansion or value resolution: names
+	// pass through as labels. Used by the parse-only benchmarks.
+	tr := NewTranslator(nil, nil)
+	res, err := tr.Translate("Return all books.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid() {
+		t.Fatalf("rejected: %v", res.Errors)
+	}
+	if !strings.Contains(res.XQuery, "//book") {
+		t.Errorf("pass-through label missing:\n%s", res.XQuery)
+	}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nalix/internal/xmldb"
+)
+
+// Auction-domain generator: a compact XMark-style auction site. The paper
+// claims the interface is generic — "with no restrictions on the
+// application domain" — and this second, structurally different corpus
+// (three-level nesting, numeric prices, cross-entity references by value)
+// backs the cross-domain tests and the auction example.
+
+var personFirst = []string{
+	"Alice", "Bruno", "Chen", "Dana", "Elif", "Farid", "Grete",
+	"Hiro", "Ines", "Jonas", "Kira", "Liam", "Mona", "Nadia",
+}
+
+var personLast = []string{
+	"Keller", "Okafor", "Park", "Quintana", "Rossi", "Sato",
+	"Tanaka", "Ueda", "Varga", "Weber", "Xu", "Yilmaz", "Zhou",
+}
+
+var cities = []string{
+	"Berlin", "Lyon", "Osaka", "Porto", "Quito", "Riga", "Seoul",
+	"Tunis", "Utrecht", "Vienna",
+}
+
+var itemAdjectives = []string{
+	"Antique", "Vintage", "Handmade", "Rare", "Restored", "Signed",
+	"Original", "Miniature",
+}
+
+var itemKinds = []string{
+	"Clock", "Typewriter", "Camera", "Globe", "Telescope", "Radio",
+	"Chess Set", "Map", "Lantern", "Phonograph",
+}
+
+// Auction builds the auction-site corpus. scale 1 yields roughly 200
+// people, 300 items and 400 auctions (≈15k nodes). Deterministic.
+func Auction(scale int) *xmldb.Document {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(19991104)) // XMark TR date
+	b := xmldb.NewBuilder("auction.xml")
+	b.Open("site")
+
+	nPeople := 200 * scale
+	nItems := 300 * scale
+	nAuctions := 400 * scale
+
+	names := make([]string, nPeople)
+	b.Open("people")
+	for i := 0; i < nPeople; i++ {
+		names[i] = personFirst[rng.Intn(len(personFirst))] + " " +
+			personLast[rng.Intn(len(personLast))]
+		b.Open("person", "id", fmt.Sprintf("p%d", i))
+		b.Leaf("name", names[i])
+		b.Leaf("city", cities[rng.Intn(len(cities))])
+		b.Leaf("email", fmt.Sprintf("user%d@example.net", i))
+		b.Close()
+	}
+	b.Close()
+
+	items := make([]string, nItems)
+	b.Open("items")
+	for i := 0; i < nItems; i++ {
+		items[i] = itemAdjectives[rng.Intn(len(itemAdjectives))] + " " +
+			itemKinds[rng.Intn(len(itemKinds))]
+		b.Open("item", "id", fmt.Sprintf("i%d", i))
+		b.Leaf("name", items[i])
+		b.Leaf("seller", names[rng.Intn(nPeople)])
+		b.Leaf("reserve", fmt.Sprintf("%d", 10+rng.Intn(490)))
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("auctions")
+	for i := 0; i < nAuctions; i++ {
+		b.Open("auction", "id", fmt.Sprintf("a%d", i))
+		b.Leaf("itemname", items[rng.Intn(nItems)])
+		price := 10 + rng.Intn(990)
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			b.Open("bid")
+			b.Leaf("bidder", names[rng.Intn(nPeople)])
+			b.Leaf("amount", fmt.Sprintf("%d", price))
+			b.Close()
+			price += 5 + rng.Intn(50)
+		}
+		b.Leaf("current", fmt.Sprintf("%d", price))
+		b.Close()
+	}
+	b.Close()
+
+	b.Close()
+	return b.Document()
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+func TestMovies(t *testing.T) {
+	d := Movies()
+	if got := len(d.NodesByLabel("movie")); got != 5 {
+		t.Errorf("movies = %d, want 5", got)
+	}
+	if got := len(d.NodesByLabel("director")); got != 5 {
+		t.Errorf("directors = %d, want 5", got)
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	d := Library()
+	if got := len(d.NodesByLabel("book")); got != 2 {
+		t.Errorf("books = %d, want 2", got)
+	}
+	// The Query 3 join premise: a title value shared by a movie and a book.
+	shared := 0
+	for _, n := range d.NodesWithValue("The Lord of the Rings") {
+		if n.Label == "title" {
+			shared++
+		}
+	}
+	if shared != 2 {
+		t.Errorf("shared titles = %d, want 2", shared)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1)
+	b := Generate(1)
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	sa := xmldb.SerializeString(a.RootElement())
+	sb := xmldb.SerializeString(b.RootElement())
+	if sa != sb {
+		t.Error("generator is not deterministic")
+	}
+}
+
+// TestGenerateScaleMatchesPaper checks the corpus matches the paper's
+// setup: ≈73k loaded nodes, ≈1.44MB serialized, twice as many articles as
+// books, and the seeded XMP books present.
+func TestGenerateScaleMatchesPaper(t *testing.T) {
+	d := Generate(1)
+	if n := d.Size(); n < 65000 || n > 85000 {
+		t.Errorf("node count = %d, want ≈73k", n)
+	}
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if mb := float64(buf.Len()) / (1 << 20); mb < 1.1 || mb > 1.9 {
+		t.Errorf("size = %.2f MB, want ≈1.44 MB", mb)
+	}
+	books := len(d.NodesByLabel("book"))
+	articles := len(d.NodesByLabel("article"))
+	if articles != 2*(books-4) {
+		t.Errorf("articles = %d, books = %d; want 2:1 over generated books", articles, books)
+	}
+	if got := d.NodesWithValue("TCP/IP Illustrated"); len(got) != 1 {
+		t.Errorf("seeded TCP/IP Illustrated missing")
+	}
+	if got := d.NodesWithValue("CITI"); len(got) < 1 {
+		t.Errorf("seeded affiliation missing")
+	}
+}
+
+func TestGenerateTaskPopulations(t *testing.T) {
+	d := Generate(1)
+	// Q1: Addison-Wesley books after 1991 must exist and not be all books.
+	aw, awAfter91 := 0, 0
+	multiAuthor, editors, xmlTitles := 0, 0, 0
+	for _, bk := range d.NodesByLabel("book") {
+		var pub, year string
+		authors := 0
+		hasEd := false
+		title := ""
+		for _, c := range bk.Children {
+			switch c.Label {
+			case "publisher":
+				pub = c.Value()
+			case "year":
+				year = c.Value()
+			case "author":
+				authors++
+			case "editor":
+				hasEd = true
+			case "title":
+				title = c.Value()
+			}
+		}
+		if pub == "Addison-Wesley" {
+			aw++
+			if year > "1991" {
+				awAfter91++
+			}
+		}
+		if authors >= 2 {
+			multiAuthor++
+		}
+		if hasEd {
+			editors++
+		}
+		if contains(title, "XML") {
+			xmlTitles++
+		}
+	}
+	if awAfter91 < 5 {
+		t.Errorf("AW books after 1991 = %d, want >= 5", awAfter91)
+	}
+	if awAfter91 >= aw {
+		t.Errorf("all AW books are after 1991; selectivity lost")
+	}
+	if multiAuthor < 10 {
+		t.Errorf("multi-author books = %d", multiAuthor)
+	}
+	if editors < 5 {
+		t.Errorf("editor books = %d", editors)
+	}
+	if xmlTitles < 3 {
+		t.Errorf("XML titles = %d", xmlTitles)
+	}
+	// Q8: Suciu must author some books.
+	suciu := 0
+	for _, a := range d.NodesByLabel("author") {
+		if contains(a.Value(), "Suciu") {
+			if a.Parent.Label == "book" {
+				suciu++
+			}
+		}
+	}
+	if suciu < 2 {
+		t.Errorf("Suciu-authored books = %d, want >= 2", suciu)
+	}
+}
+
+func contains(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}
+
+func TestWriteXMLReparses(t *testing.T) {
+	d := Generate(1)
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := xmldb.Parse("dblp.xml", &buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d.Size() != d2.Size() {
+		t.Errorf("reparse size mismatch: %d vs %d", d.Size(), d2.Size())
+	}
+}

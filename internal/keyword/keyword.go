@@ -1,0 +1,198 @@
+// Package keyword implements the keyword-search baseline NaLIX is
+// compared against in the paper's user study: an interface in the style of
+// "Querying XML documents made easy: Nearest concept queries" (Schmidt et
+// al., ICDE 2001, the paper's reference [26]). The result of a multi-term
+// query is the set of deepest "meet" nodes — lowest common ancestors of
+// nodes matching the individual terms — ranked by depth, with the deepest
+// meets considered the nearest enclosing concepts.
+package keyword
+
+import (
+	"sort"
+	"strings"
+
+	"nalix/internal/xmldb"
+)
+
+// Result is one meet node with its rank information.
+type Result struct {
+	// Node is the meet (lowest common ancestor of one term-match
+	// combination).
+	Node *xmldb.Node
+	// Depth is the node's depth; deeper meets bind the terms more
+	// tightly.
+	Depth int
+}
+
+// Engine runs keyword queries over one document.
+type Engine struct {
+	doc *xmldb.Document
+}
+
+// NewEngine returns a keyword search engine for the document.
+func NewEngine(doc *xmldb.Document) *Engine {
+	return &Engine{doc: doc}
+}
+
+// matches returns the nodes matching one search term: elements or
+// attributes whose label equals the term, or whose value contains it
+// (case-insensitive).
+func (e *Engine) matches(term string) []*xmldb.Node {
+	term = strings.ToLower(strings.TrimSpace(term))
+	if term == "" {
+		return nil
+	}
+	var out []*xmldb.Node
+	for _, n := range e.doc.Nodes() {
+		if n.Kind != xmldb.ElementNode && n.Kind != xmldb.AttributeNode {
+			continue
+		}
+		if strings.ToLower(n.Label) == term {
+			out = append(out, n)
+			continue
+		}
+		// Value match only against leaf content, as content search
+		// engines do; matching interior concatenations would return
+		// near-root nodes for every term.
+		leaf := true
+		for _, c := range n.Children {
+			if c.Kind == xmldb.ElementNode {
+				leaf = false
+				break
+			}
+		}
+		if leaf && strings.Contains(strings.ToLower(n.Value()), term) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Search runs a keyword query and returns the deepest meets. Terms are
+// whitespace-separated; quoted phrases stay together.
+func (e *Engine) Search(query string) []Result {
+	terms := SplitQuery(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	matchSets := make([][]*xmldb.Node, 0, len(terms))
+	for _, t := range terms {
+		m := e.matches(t)
+		if len(m) == 0 {
+			// A term with no match contributes nothing; keyword search
+			// degrades gracefully rather than returning empty.
+			continue
+		}
+		matchSets = append(matchSets, m)
+	}
+	if len(matchSets) == 0 {
+		return nil
+	}
+	// Compute meets of combinations. The meet set is built pairwise —
+	// meets(A,B) then meets(result, C) — the standard meet-operator
+	// evaluation. For each node the deepest LCA with a sorted partner
+	// set is attained either by a partner inside the node's subtree or
+	// by the pre-order neighbors of the node, so each step is a binary
+	// search rather than a scan.
+	meets := map[*xmldb.Node]bool{}
+	for _, n := range matchSets[0] {
+		meets[n] = true
+	}
+	for _, set := range matchSets[1:] {
+		sorted := append([]*xmldb.Node(nil), set...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pre < sorted[j].Pre })
+		next := map[*xmldb.Node]bool{}
+		for m := range meets {
+			for _, l := range deepestMeets(m, sorted) {
+				next[l] = true
+			}
+		}
+		meets = next
+	}
+	// Keep only the deepest meets (nearest concepts).
+	maxDepth := -1
+	for m := range meets {
+		if m.Depth > maxDepth {
+			maxDepth = m.Depth
+		}
+	}
+	var out []Result
+	for m := range meets {
+		if m.Depth == maxDepth {
+			out = append(out, Result{Node: m, Depth: m.Depth})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node.Pre < out[j].Node.Pre })
+	return out
+}
+
+// deepestMeets returns the deepest LCAs node m forms with any node of the
+// pre-order-sorted partner set. A partner inside m's subtree yields m
+// itself (the deepest possible); otherwise the deepest LCA is achieved by
+// one of the two partners adjacent to m in pre-order.
+func deepestMeets(m *xmldb.Node, sorted []*xmldb.Node) []*xmldb.Node {
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i].Pre >= m.Pre })
+	// A partner within [m.Pre, m.Post] is in m's subtree (or m itself).
+	if idx < len(sorted) && sorted[idx].Pre <= m.Post {
+		return []*xmldb.Node{m}
+	}
+	best := -1
+	var out []*xmldb.Node
+	consider := func(n *xmldb.Node) {
+		l := xmldb.LCA(m, n)
+		if l == nil {
+			return
+		}
+		if l.Depth > best {
+			best = l.Depth
+			out = out[:0]
+		}
+		if l.Depth == best {
+			dup := false
+			for _, o := range out {
+				if o == l {
+					dup = true
+				}
+			}
+			if !dup {
+				out = append(out, l)
+			}
+		}
+	}
+	if idx > 0 {
+		consider(sorted[idx-1])
+	}
+	if idx < len(sorted) {
+		consider(sorted[idx])
+	}
+	return out
+}
+
+// SplitQuery splits a keyword query into terms, keeping quoted phrases
+// together.
+func SplitQuery(q string) []string {
+	var terms []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			terms = append(terms, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range q {
+		switch {
+		case r == '"':
+			if inQuote {
+				flush()
+			}
+			inQuote = !inQuote
+		case !inQuote && (r == ' ' || r == '\t' || r == '\n'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return terms
+}

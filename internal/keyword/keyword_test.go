@@ -1,0 +1,131 @@
+package keyword
+
+import (
+	"reflect"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author>W. Stevens</author>
+    <publisher>Addison-Wesley</publisher>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author>Dan Suciu</author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+  </book>
+  <article year="2001">
+    <title>Efficient XML Search</title>
+    <author>Dan Suciu</author>
+    <journal>VLDB Journal</journal>
+  </article>
+</bib>`
+
+func newEngine(t testing.TB) *Engine {
+	t.Helper()
+	doc, err := xmldb.ParseString("bib.xml", bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(doc)
+}
+
+func TestSplitQuery(t *testing.T) {
+	got := SplitQuery(`title "Addison-Wesley" year`)
+	want := []string{"title", "Addison-Wesley", "year"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitQuery = %v, want %v", got, want)
+	}
+	got = SplitQuery(`  `)
+	if len(got) != 0 {
+		t.Errorf("empty query = %v", got)
+	}
+	got = SplitQuery(`"Data on the Web"`)
+	if len(got) != 1 || got[0] != "Data on the Web" {
+		t.Errorf("quoted phrase = %v", got)
+	}
+}
+
+func TestLabelMatch(t *testing.T) {
+	e := newEngine(t)
+	res := e.Search("publisher")
+	if len(res) != 2 {
+		t.Fatalf("publisher matches = %d, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.Node.Label != "publisher" {
+			t.Errorf("match label = %q", r.Node.Label)
+		}
+	}
+}
+
+func TestValueMatch(t *testing.T) {
+	e := newEngine(t)
+	res := e.Search(`"Suciu"`)
+	if len(res) != 2 {
+		t.Fatalf("Suciu matches = %d, want 2 (book author + article author)", len(res))
+	}
+}
+
+func TestMeetBindsTermsTogether(t *testing.T) {
+	e := newEngine(t)
+	// title + Suciu: the deepest meets are the entries containing both.
+	res := e.Search(`title "Suciu"`)
+	if len(res) != 2 {
+		t.Fatalf("meets = %d, want 2", len(res))
+	}
+	labels := map[string]bool{}
+	for _, r := range res {
+		labels[r.Node.Label] = true
+	}
+	if !labels["book"] || !labels["article"] {
+		t.Errorf("meet labels = %v, want book and article", labels)
+	}
+}
+
+func TestMeetThreeTerms(t *testing.T) {
+	e := newEngine(t)
+	res := e.Search(`title author "Addison-Wesley"`)
+	if len(res) != 1 || res[0].Node.Label != "book" {
+		t.Fatalf("meets = %+v, want the Addison-Wesley book", res)
+	}
+	if got := res[0].Node.Children[1].Value(); got != "TCP/IP Illustrated" {
+		t.Errorf("wrong book: %s", xmldb.SerializeString(res[0].Node))
+	}
+}
+
+func TestUnmatchedTermIgnored(t *testing.T) {
+	e := newEngine(t)
+	res := e.Search(`title zzzznothing`)
+	if len(res) == 0 {
+		t.Error("unmatched term should not empty the result")
+	}
+}
+
+func TestAllTermsUnmatched(t *testing.T) {
+	e := newEngine(t)
+	if res := e.Search(`zzzz yyyy`); len(res) != 0 {
+		t.Errorf("expected no results, got %d", len(res))
+	}
+	if res := e.Search(``); res != nil {
+		t.Errorf("empty query results = %v", res)
+	}
+}
+
+// TestKeywordCannotAggregate documents the baseline's inherent limitation
+// the study exploits: a query needing aggregation ("number of authors")
+// just meets on the words, returning entries rather than a count.
+func TestKeywordCannotAggregate(t *testing.T) {
+	e := newEngine(t)
+	res := e.Search(`number of authors`)
+	for _, r := range res {
+		if r.Node.Kind != xmldb.ElementNode && r.Node.Kind != xmldb.AttributeNode {
+			t.Errorf("unexpected node kind %v", r.Node.Kind)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package metrics implements the search-quality measures of the paper's
+// evaluation (Sec. 5.1): precision, recall and their harmonic mean over
+// result value sets, where each element and attribute value counts as an
+// independent value.
+package metrics
+
+// PR holds precision and recall for one query.
+type PR struct {
+	Precision float64
+	Recall    float64
+}
+
+// Harmonic returns the harmonic mean of precision and recall (the paper's
+// pass criterion uses harmonic mean > 0.5).
+func (p PR) Harmonic() float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+// Score compares a retrieved value set against the gold standard. Both
+// precision and recall of an empty retrieval against a non-empty gold are
+// zero; retrieving anything against an empty gold scores zero precision
+// and full recall.
+func Score(retrieved, gold []string) PR {
+	gs := toSet(gold)
+	rs := toSet(retrieved)
+	if len(rs) == 0 {
+		if len(gs) == 0 {
+			return PR{1, 1}
+		}
+		return PR{0, 0}
+	}
+	hit := 0
+	for v := range rs {
+		if gs[v] {
+			hit++
+		}
+	}
+	pr := PR{
+		Precision: float64(hit) / float64(len(rs)),
+	}
+	if len(gs) == 0 {
+		pr.Recall = 1
+	} else {
+		pr.Recall = float64(hit) / float64(len(gs))
+	}
+	return pr
+}
+
+func toSet(vals []string) map[string]bool {
+	s := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		s[v] = true
+	}
+	return s
+}
+
+// Mean averages a slice of floats (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// Min returns the smallest element (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

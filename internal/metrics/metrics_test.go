@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScoreExact(t *testing.T) {
+	pr := Score([]string{"a", "b"}, []string{"a", "b"})
+	if !almost(pr.Precision, 1) || !almost(pr.Recall, 1) {
+		t.Errorf("exact = %+v", pr)
+	}
+}
+
+func TestScorePartial(t *testing.T) {
+	// The paper's example: all right elements but 3 of 4 attributes →
+	// recall 75%.
+	pr := Score([]string{"e", "a1", "a2", "a3"}, []string{"e", "a1", "a2", "a3", "a4"})
+	if !almost(pr.Recall, 0.8) {
+		t.Errorf("recall = %v, want 0.8", pr.Recall)
+	}
+	if !almost(pr.Precision, 1) {
+		t.Errorf("precision = %v, want 1", pr.Precision)
+	}
+}
+
+func TestScoreNoise(t *testing.T) {
+	pr := Score([]string{"a", "x", "y", "z"}, []string{"a"})
+	if !almost(pr.Precision, 0.25) || !almost(pr.Recall, 1) {
+		t.Errorf("noisy = %+v", pr)
+	}
+}
+
+func TestScoreEmptyRetrieval(t *testing.T) {
+	pr := Score(nil, []string{"a"})
+	if pr.Precision != 0 || pr.Recall != 0 {
+		t.Errorf("empty retrieval = %+v", pr)
+	}
+	pr = Score(nil, nil)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Errorf("empty/empty = %+v", pr)
+	}
+}
+
+func TestScoreDuplicatesCollapse(t *testing.T) {
+	a := Score([]string{"a", "a", "b"}, []string{"a", "b"})
+	b := Score([]string{"a", "b"}, []string{"a", "b"})
+	if a != b {
+		t.Errorf("duplicates should not change the score: %+v vs %+v", a, b)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if h := (PR{1, 1}).Harmonic(); !almost(h, 1) {
+		t.Errorf("H(1,1) = %v", h)
+	}
+	if h := (PR{0, 0}).Harmonic(); h != 0 {
+		t.Errorf("H(0,0) = %v", h)
+	}
+	if h := (PR{0.5, 1}).Harmonic(); !almost(h, 2.0/3.0) {
+		t.Errorf("H(0.5,1) = %v", h)
+	}
+}
+
+func TestScoreProperties(t *testing.T) {
+	f := func(ret, gold []string) bool {
+		pr := Score(ret, gold)
+		if pr.Precision < 0 || pr.Precision > 1 || pr.Recall < 0 || pr.Recall > 1 {
+			return false
+		}
+		h := pr.Harmonic()
+		lo, hi := pr.Precision, pr.Recall
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return h >= lo-1e-9 == false || (h >= 0 && h <= hi+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	xs := []float64{0.2, 0.8, 0.5}
+	if !almost(Mean(xs), 0.5) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almost(Min(xs), 0.2) || !almost(Max(xs), 0.8) {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+}

@@ -1,0 +1,208 @@
+// Package mqf implements the Meaningful Query Focus machinery of
+// Schema-Free XQuery (Li, Yang, Jagadish, VLDB 2004), which NaLIX uses as
+// the target of natural-language query translation. The central predicate
+// is *meaningful relatedness* via Meaningful Lowest Common Ancestors
+// (MLCA): nodes u and v, with labels A and B, are meaningfully related iff
+// their LCA is as deep as the deepest LCA that v forms with any A-node and
+// that u forms with any B-node — i.e. u and v are mutually nearest for
+// their labels. This is what makes mqf(director, title) pick the title of a
+// movie rather than the title of a book in the paper's Section 2 example.
+package mqf
+
+import (
+	"nalix/internal/xmldb"
+)
+
+// Checker answers meaningful-relatedness queries against one document. It
+// memoizes mlca-depth lookups, which dominate the cost of evaluating
+// where-clauses containing mqf() over large variable domains.
+type Checker struct {
+	doc   *xmldb.Document
+	cache map[depthKey]int
+}
+
+type depthKey struct {
+	node  int
+	label string
+}
+
+// NewChecker returns a Checker for the given document.
+func NewChecker(doc *xmldb.Document) *Checker {
+	return &Checker{doc: doc, cache: make(map[depthKey]int)}
+}
+
+// MLCADepth returns the depth of the deepest ancestor-or-self of n whose
+// subtree contains a node labelled label other than n itself, or -1 when no
+// such ancestor exists (label absent from the document).
+func (c *Checker) MLCADepth(n *xmldb.Node, label string) int {
+	key := depthKey{n.ID, label}
+	if d, ok := c.cache[key]; ok {
+		return d
+	}
+	depth := -1
+	for p := n; p != nil; p = p.Parent {
+		if c.doc.SubtreeContainsLabel(p, label, n) {
+			depth = p.Depth
+			break
+		}
+	}
+	c.cache[key] = depth
+	return depth
+}
+
+// Related reports whether u and v are meaningfully related: their LCA is a
+// mutually-nearest meeting point for their labels. Two distinct nodes with
+// the same label are never meaningfully related directly (they are peers,
+// not partners); a node is trivially related to itself.
+func (c *Checker) Related(u, v *xmldb.Node) bool {
+	if u == v {
+		return true
+	}
+	if u.Label == v.Label {
+		return false
+	}
+	l := xmldb.LCA(u, v)
+	if l == nil {
+		return false
+	}
+	// One node being the ancestor of the other is always meaningful
+	// (e.g. movie and its title).
+	if l == u || l == v {
+		return true
+	}
+	// A pairing that only meets at the top of a large collection is not
+	// meaningful: when neither side has any closer partner, mutual
+	// nearness would otherwise relate an editor-only book to every
+	// article author in the corpus just because both reach the root.
+	if c.isCollectionTop(l) {
+		return false
+	}
+	return l.Depth == c.MLCADepth(u, v.Label) && l.Depth == c.MLCADepth(v, u.Label)
+}
+
+// isCollectionTop reports whether a node is the document node or a
+// collection container at the top of the document (the root element of a
+// corpus holding many sibling entries).
+func (c *Checker) isCollectionTop(l *xmldb.Node) bool {
+	if l.Kind == xmldb.DocumentNode {
+		return true
+	}
+	if l.Parent == nil || l.Parent.Kind != xmldb.DocumentNode {
+		return false
+	}
+	elems := 0
+	for _, ch := range l.Children {
+		if ch.Kind == xmldb.ElementNode {
+			elems++
+			if elems > 3 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RelatedAll reports whether every pair in nodes is meaningfully related.
+// This is the predicate semantics of mqf($v1, $v2, ...) in a where clause:
+// the bound combination survives iff the nodes form a meaningful group.
+// mqf of fewer than two nodes is trivially true.
+func (c *Checker) RelatedAll(nodes []*xmldb.Node) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !c.Related(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RelatedCandidates returns the nodes with the given label that are
+// meaningfully related to u. This is the pruning primitive of the
+// structural-join optimizer in the XQuery evaluator: instead of scanning
+// every label-node and filtering, candidates come from the subtree of the
+// deepest ancestor of u that contains the label at all.
+func (c *Checker) RelatedCandidates(u *xmldb.Node, label string) []*xmldb.Node {
+	if u.Label == label {
+		return []*xmldb.Node{u}
+	}
+	d := c.MLCADepth(u, label)
+	if d < 0 {
+		return nil
+	}
+	p := u
+	for p != nil && p.Depth > d {
+		p = p.Parent
+	}
+	if p == nil {
+		return nil
+	}
+	var out []*xmldb.Node
+	for _, cand := range c.doc.Descendants(p, label) {
+		if c.Related(u, cand) {
+			out = append(out, cand)
+		}
+	}
+	if p.Label == label && c.Related(u, p) {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Group is one meaningful combination found by Groups: one node per
+// requested label, plus the LCA ("focus") of the combination.
+type Group struct {
+	// Nodes holds one node per requested label, in request order.
+	Nodes []*xmldb.Node
+	// Focus is the lowest common ancestor of Nodes.
+	Focus *xmldb.Node
+}
+
+// Groups enumerates all meaningful combinations of nodes for the given
+// labels: the MLCAS (Meaningful LCA Structure) of the label sets. It is
+// used by the standalone schema-free query API and by tests; the XQuery
+// evaluator uses RelatedAll as a join filter instead.
+//
+// The search is pruned by candidate partner sets: for each node of the
+// first label we only extend with nodes that are pairwise meaningfully
+// related to everything chosen so far.
+func (c *Checker) Groups(labels ...string) []Group {
+	if len(labels) == 0 {
+		return nil
+	}
+	cands := make([][]*xmldb.Node, len(labels))
+	for i, l := range labels {
+		cands[i] = c.doc.NodesByLabel(l)
+		if len(cands[i]) == 0 {
+			return nil
+		}
+	}
+	var out []Group
+	chosen := make([]*xmldb.Node, 0, len(labels))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(labels) {
+			nodes := make([]*xmldb.Node, len(chosen))
+			copy(nodes, chosen)
+			focus := nodes[0]
+			for _, n := range nodes[1:] {
+				focus = xmldb.LCA(focus, n)
+			}
+			out = append(out, Group{Nodes: nodes, Focus: focus})
+			return
+		}
+	next:
+		for _, cand := range cands[i] {
+			for _, prev := range chosen {
+				if !c.Related(prev, cand) {
+					continue next
+				}
+			}
+			chosen = append(chosen, cand)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,389 @@
+// Package nlp is the natural-language front end of the system: a
+// tokenizer, a light English morphology (lemmatizer), a phrase lexicon,
+// and a grammar-directed dependency parser for the query sublanguage that
+// NaLIX supports (Table 6 of the paper). It plays the role Minipar plays
+// in the original system: its output is a dependency parse tree whose
+// nodes the core package then classifies into tokens and markers.
+//
+// Like Minipar, the parser is imperfect by design reality: its documented
+// limitation is conjunct-scope ambiguity (a trailing preposition phrase or
+// relative clause attaches to the nearest conjunct only), which the study
+// harness uses to reproduce the paper's population of correctly-specified
+// but wrongly-parsed queries.
+package nlp
+
+import "strings"
+
+// Category is the syntactic category the lexicon and parser assign to a
+// phrase node. The core package maps categories onto the paper's token and
+// marker types (Tables 1 and 2).
+type Category uint8
+
+// The syntactic categories.
+const (
+	CatUnknown   Category = iota
+	CatCommand            // imperative verb or wh-phrase heading the query
+	CatNoun               // common noun (phrase head)
+	CatValue              // quoted string, proper noun, or number
+	CatPrep               // relating preposition ("of", "by", "with", ...)
+	CatVerb               // non-comparative verb ("directed by", "wrote")
+	CatCompare            // comparison phrase ("be the same as", "be more than")
+	CatAggregate          // aggregate function phrase ("the number of")
+	CatOrder              // ordering phrase ("sorted by", "in alphabetic order")
+	CatQuant              // quantifier ("every", "some", "no")
+	CatNeg                // negation ("not")
+	CatPron               // pronoun ("it", "their")
+	CatConj               // coordinating conjunction ("and", "or")
+	CatArticle            // article or vacuous determiner (dropped)
+	CatAux                // auxiliary / copula fragments (dropped)
+	CatComma              // clause punctuation
+	CatRel                // relative clause marker ("where", "that", ...)
+	CatAdj                // adjective modifier kept on the following noun
+)
+
+// String returns a short name for the category.
+func (c Category) String() string {
+	names := [...]string{"unknown", "command", "noun", "value", "prep", "verb",
+		"compare", "aggregate", "order", "quant", "neg", "pron", "conj",
+		"article", "aux", "comma", "rel", "adj"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return "bad-category"
+}
+
+// Func identifies the aggregate function an aggregate phrase denotes.
+type Func uint8
+
+// The aggregate functions (FuncNone for non-aggregate nodes).
+const (
+	FuncNone Func = iota
+	FuncCount
+	FuncMin
+	FuncMax
+	FuncSum
+	FuncAvg
+)
+
+// String returns the XQuery function name.
+func (f Func) String() string {
+	switch f {
+	case FuncCount:
+		return "count"
+	case FuncMin:
+		return "min"
+	case FuncMax:
+		return "max"
+	case FuncSum:
+		return "sum"
+	case FuncAvg:
+		return "avg"
+	default:
+		return ""
+	}
+}
+
+// CmpKind identifies the comparison a compare phrase denotes.
+type CmpKind uint8
+
+// The comparison kinds. CmpContains/CmpStarts/CmpEnds map to string
+// functions rather than operators.
+const (
+	CmpNone CmpKind = iota
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+	CmpContains
+	CmpStarts
+	CmpEnds
+	// CmpPhrase is TeXQuery-style token-boundary phrase matching
+	// (the full-text extension).
+	CmpPhrase
+	// CmpBetween is an inclusive range ("between 1992 and 2000").
+	CmpBetween
+)
+
+// phraseEntry is one multi-word (or single-word) lexicon entry, matched on
+// lemmas, longest first.
+type phraseEntry struct {
+	lemmas []string
+	cat    Category
+	fn     Func
+	cmp    CmpKind
+	desc   bool // for CatOrder: descending
+}
+
+// phraseLexicon holds the enumerated sets the paper describes as the
+// system's real-world knowledge base ("we have kept these small — each set
+// has about a dozen elements").
+var phraseLexicon []phraseEntry
+
+func addPhrase(cat Category, fn Func, cmp CmpKind, desc bool, texts ...string) {
+	for _, t := range texts {
+		phraseLexicon = append(phraseLexicon, phraseEntry{
+			lemmas: strings.Fields(t),
+			cat:    cat,
+			fn:     fn,
+			cmp:    cmp,
+			desc:   desc,
+		})
+	}
+}
+
+func init() {
+	// Command tokens (CMT): top main verb or wh-phrase, Table 1.
+	addPhrase(CatCommand, FuncNone, CmpNone, false,
+		"return", "find", "list", "show", "show me", "display", "give", "give me",
+		"get", "retrieve", "tell me", "what be", "who be", "which be",
+		"report")
+
+	// Order-by tokens (OBT): enum set of phrases, Table 1.
+	addPhrase(CatOrder, FuncNone, CmpNone, false,
+		"sort by", "sort in", "order by", "in order of",
+		"sorted by", "ordered by", "ranked by", "sorted in",
+		"in alphabetical order", "in alphabetic order",
+		"in ascending order", "alphabetically", "rank by")
+	addPhrase(CatOrder, FuncNone, CmpNone, true,
+		"in descending order", "in reverse order")
+
+	// Function tokens (FT): enum set of adjectives and noun phrases.
+	addPhrase(CatAggregate, FuncCount, CmpNone, false,
+		"the number of", "the total number of", "the count of",
+		"how many")
+	addPhrase(CatAggregate, FuncMin, CmpNone, false,
+		"the lowest", "the smallest", "the cheapest", "the minimum",
+		"the least", "the earliest", "the fewest", "the first")
+	addPhrase(CatAggregate, FuncMax, CmpNone, false,
+		"the highest", "the largest", "the greatest", "the maximum",
+		"the most expensive", "the latest", "the most recent", "the last")
+	addPhrase(CatAggregate, FuncSum, CmpNone, false,
+		"the sum of", "the total")
+	addPhrase(CatAggregate, FuncAvg, CmpNone, false,
+		"the average", "the mean")
+
+	// Operator tokens (OT): enum set of comparison phrases. All verbal
+	// forms are lemmatized, so "is the same as" matches "be the same as".
+	addPhrase(CatCompare, FuncNone, CmpEq, false,
+		"be the same as", "be equal to", "be identical to", "equal",
+		"be as many as", "be")
+	addPhrase(CatCompare, FuncNone, CmpNe, false,
+		"be different from", "differ from")
+	addPhrase(CatCompare, FuncNone, CmpGt, false,
+		"be more than", "be greater than", "be larger than",
+		"be bigger than", "be after", "be later than", "exceed",
+		"be over", "more than", "greater than", "after", "over")
+	addPhrase(CatCompare, FuncNone, CmpLt, false,
+		"be less than", "be fewer than", "be smaller than", "be before",
+		"be earlier than", "be under", "less than", "fewer than",
+		"before", "under")
+	addPhrase(CatCompare, FuncNone, CmpGe, false,
+		"be at least", "at least", "be no less than")
+	addPhrase(CatCompare, FuncNone, CmpLe, false,
+		"be at most", "at most", "be no more than")
+	addPhrase(CatCompare, FuncNone, CmpContains, false,
+		"contain", "include", "mention", "contain the word",
+		"contain the string", "include the word")
+	addPhrase(CatCompare, FuncNone, CmpBetween, false,
+		"be between", "between", "range from")
+	addPhrase(CatCompare, FuncNone, CmpPhrase, false,
+		"contain the phrase", "mention the phrase", "include the phrase",
+		"be about")
+	addPhrase(CatCompare, FuncNone, CmpStarts, false,
+		"start with", "begin with")
+	addPhrase(CatCompare, FuncNone, CmpEnds, false,
+		"end with", "end in")
+
+	// Connection markers (CM): prepositions from an enumerated set,
+	// Table 2. Non-token verbs also become CMs, handled by the parser.
+	addPhrase(CatPrep, FuncNone, CmpNone, false,
+		"of", "by", "with", "in", "from", "for", "about", "on", "at",
+		"having", "whose", "including")
+
+	// Quantifier tokens (QT).
+	addPhrase(CatQuant, FuncNone, CmpNone, false,
+		"every", "all", "each", "some", "any", "no")
+
+	// Negation.
+	addPhrase(CatNeg, FuncNone, CmpNone, false, "not", "never", "don't")
+
+	// Pronoun markers (PM): no semantic contribution, produce warnings.
+	addPhrase(CatPron, FuncNone, CmpNone, false,
+		"it", "its", "they", "them", "their", "he", "she", "his", "her",
+		"this", "these", "those", "that one")
+
+	// Conjunctions.
+	addPhrase(CatConj, FuncNone, CmpNone, false, "and", "or",
+		"as well as", "along with", "together with")
+
+	// General markers (GM): articles and auxiliaries, dropped.
+	addPhrase(CatArticle, FuncNone, CmpNone, false, "the", "a", "an")
+	addPhrase(CatAux, FuncNone, CmpNone, false,
+		"do", "have", "have be", "can", "could", "will", "would",
+		"please", "also", "there be", "such")
+
+	// Relative clause markers.
+	addPhrase(CatRel, FuncNone, CmpNone, false,
+		"where", "that", "which", "who", "whom", "when", "if",
+		"such that", "so that")
+
+	// Adjectives that stay as noun modifiers (distinguishing two NTs:
+	// modifier markers, Table 2).
+	addPhrase(CatAdj, FuncNone, CmpNone, false,
+		"first", "second", "third", "last", "new", "old", "other",
+		"different", "same", "alphabetical", "alphabetic")
+}
+
+// irregularLemmas maps inflected forms to lemmas for words the suffix
+// rules cannot handle.
+var irregularLemmas = map[string]string{
+	"is": "be", "are": "be", "was": "be", "were": "be", "been": "be",
+	"being": "be", "am": "be",
+	"has": "have", "had": "have", "having": "having",
+	"don": "do", "doesn": "do", "didn": "do",
+	"isn": "be", "aren": "be", "wasn": "be", "weren": "be",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"wrote": "write", "written": "write",
+	"gave": "give", "given": "give",
+	"made": "make", "found": "find", "sold": "sell", "held": "hold",
+	"won": "win", "went": "go", "gone": "go",
+	"children": "child", "people": "person", "men": "man",
+	"women": "woman", "feet": "foot", "mice": "mouse",
+	"movies": "movie", "cookies": "cookie", "ties": "tie",
+	"prices": "price", "articles": "article", "titles": "title",
+	"sources": "source", "pages": "page", "references": "reference",
+	"affiliations": "affiliation", "degrees": "degree",
+	"more": "more", "most": "most", "less": "less", "fewer": "fewer",
+	"me": "me",
+}
+
+// noSingular lists words ending in s that are not plurals.
+var noSingular = map[string]bool{
+	"this": true, "his": true, "its": true, "is": true, "was": true,
+	"has": true, "does": true, "less": true, "address": true,
+	"series": true, "news": true, "always": true, "as": true,
+	"plus": true, "previous": true, "various": true,
+	"analysis": true, "thesis": true, "status": true, "business": true,
+	"press": true, "access": true, "us": true, "economics": true,
+	"politics": true, "physics": true, "mathematics": true,
+}
+
+// Lemma normalizes a single word: lowercases it, resolves irregular forms,
+// strips plural endings from nouns and common verbal endings.
+func Lemma(word string) string {
+	w := strings.ToLower(word)
+	if l, ok := irregularLemmas[w]; ok {
+		return l
+	}
+	if noSingular[w] {
+		return w
+	}
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses"), strings.HasSuffix(w, "shes"),
+		strings.HasSuffix(w, "ches"), strings.HasSuffix(w, "xes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") &&
+		!strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is") && len(w) > 3:
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+// VerbLemma strips verbal endings (-ed, -ing) in addition to Lemma; used
+// when the parser knows the word is in verb position.
+func VerbLemma(word string) string {
+	w := strings.ToLower(word)
+	if l, ok := irregularLemmas[w]; ok {
+		return l
+	}
+	switch {
+	case strings.HasSuffix(w, "ied") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		base := w[:len(w)-2]
+		// doubled consonant: "planned" -> "plan"
+		n := len(base)
+		if n >= 3 && base[n-1] == base[n-2] && !isVowel(base[n-1]) && isVowel(base[n-3]) {
+			return base[:n-1]
+		}
+		// silent e: "directed" keeps "direct"; "published" -> "publish";
+		// "released" -> "release" needs the e back when base ends in s/c/v+cons?
+		// Use a small heuristic: restore 'e' after soft endings.
+		switch {
+		case strings.HasSuffix(base, "at"), strings.HasSuffix(base, "it"),
+			strings.HasSuffix(base, "iz"), strings.HasSuffix(base, "as"),
+			strings.HasSuffix(base, "eas"), strings.HasSuffix(base, "uc"),
+			strings.HasSuffix(base, "ir"), strings.HasSuffix(base, "ag"):
+			return base + "e"
+		}
+		return base
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		base := w[:len(w)-3]
+		n := len(base)
+		if n >= 3 && base[n-1] == base[n-2] && !isVowel(base[n-1]) {
+			return base[:n-1]
+		}
+		return base
+	}
+	return Lemma(w)
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// PhrasesContaining returns lexicon phrases that include the given lemma
+// as one of their words, comparison phrases first — the candidate pool for
+// rephrasing suggestions when a term is unknown (e.g. "as" suggests
+// "the same as", the paper's Fig. 10 scenario).
+func PhrasesContaining(lemma string) []string {
+	var compares, others []string
+	for _, e := range phraseLexicon {
+		for _, l := range e.lemmas {
+			if l == lemma {
+				p := strings.Join(e.lemmas, " ")
+				if e.cat == CatCompare {
+					compares = append(compares, p)
+				} else {
+					others = append(others, p)
+				}
+				break
+			}
+		}
+	}
+	return append(compares, others...)
+}
+
+// lexLookup finds the longest phrase-lexicon match starting at position i
+// of the lemma slice, returning the entry and the number of lemmas
+// consumed (0 when nothing matches).
+func lexLookup(lemmas []string, i int) (phraseEntry, int) {
+	best := phraseEntry{}
+	bestLen := 0
+	for _, e := range phraseLexicon {
+		n := len(e.lemmas)
+		if n <= bestLen || i+n > len(lemmas) {
+			continue
+		}
+		ok := true
+		for k, l := range e.lemmas {
+			if lemmas[i+k] != l {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = e
+			bestLen = n
+		}
+	}
+	return best, bestLen
+}

@@ -1,0 +1,746 @@
+package nlp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse analyzes an English query sentence and produces its dependency
+// parse tree. Parse never fails on classifiable input: words it cannot
+// place are attached as CatUnknown nodes for the validator to report. An
+// error is returned only for empty input.
+func Parse(sentence string) (*Tree, error) {
+	words := Tokenize(sentence)
+	if len(words) == 0 {
+		return nil, fmt.Errorf("nlp: empty query")
+	}
+	flat := segment(words)
+	// Auxiliaries carry no query semantics (general markers, Table 2);
+	// they were needed only as context for verb detection.
+	kept := flat[:0]
+	for _, n := range flat {
+		if n.Cat != CatAux {
+			kept = append(kept, n)
+		}
+	}
+	flat = kept
+	t := &Tree{Sentence: sentence}
+	for i, n := range flat {
+		n.ID = i + 1
+	}
+	t.nextID = len(flat)
+	p := &treeParser{tree: t, items: flat}
+	p.build()
+	return t, nil
+}
+
+// segment groups words into phrase nodes: proper-noun runs and quoted
+// strings become values, the phrase lexicon merges multi-word phrases, and
+// participle+by sequences become verb connectors.
+func segment(words []Word) []*Node {
+	var out []*Node
+	lemmas := make([]string, len(words))
+	for i, w := range words {
+		lemmas[i] = w.Lemma
+	}
+	i := 0
+	for i < len(words) {
+		w := words[i]
+		// Comma.
+		if w.Lemma == "," {
+			out = append(out, &Node{Cat: CatComma, Lemma: ",", Text: ",", SentencePos: w.Pos})
+			i++
+			continue
+		}
+		// Quoted values and numbers.
+		if w.Quoted {
+			out = append(out, &Node{Cat: CatValue, Lemma: w.Text, Text: w.Text, SentencePos: w.Pos})
+			i++
+			continue
+		}
+		if w.Number {
+			out = append(out, &Node{Cat: CatValue, Lemma: w.Text, Text: w.Text, SentencePos: w.Pos})
+			i++
+			continue
+		}
+		if d, ok := numberWords[w.Lemma]; ok {
+			out = append(out, &Node{Cat: CatValue, Lemma: d, Text: w.Text, SentencePos: w.Pos})
+			i++
+			continue
+		}
+		// Proper-noun run (not sentence-initial): "Ron Howard",
+		// "Addison-Wesley", "Gone with the Wind". Lowercase function
+		// words join the run only when a capitalized word follows.
+		if w.Cap && i > 0 {
+			if run := properRun(words, i); run > 0 {
+				var parts []string
+				for k := i; k < i+run; k++ {
+					parts = append(parts, words[k].Text)
+				}
+				text := strings.Join(parts, " ")
+				out = append(out, &Node{Cat: CatValue, Lemma: text, Text: text, SentencePos: w.Pos})
+				i += run
+				continue
+			}
+		}
+		// Phrase lexicon, longest match first.
+		if e, n := lexLookup(lemmas, i); n > 0 {
+			var parts []string
+			for k := i; k < i+n; k++ {
+				parts = append(parts, words[k].Text)
+			}
+			out = append(out, &Node{
+				Cat: e.cat, Fn: e.fn, Cmp: e.cmp, Desc: e.desc,
+				Lemma:       strings.Join(e.lemmas, " "),
+				Text:        strings.Join(parts, " "),
+				SentencePos: w.Pos,
+			})
+			i += n
+			continue
+		}
+		// Participle or verb acting as a connector: "directed by",
+		// "published by", "written by"; also bare past verbs after an
+		// auxiliary ("has directed").
+		if vb := verbLike(words, i, out); vb != "" {
+			node := &Node{Cat: CatVerb, Lemma: vb, Text: words[i].Text, SentencePos: w.Pos}
+			i++
+			if i < len(words) && words[i].Lemma == "by" {
+				node.Lemma += " by"
+				node.Text += " " + words[i].Text
+				i++
+			}
+			out = append(out, node)
+			continue
+		}
+		// "many"/"much" degree words contribute nothing by themselves.
+		if w.Lemma == "many" || w.Lemma == "much" {
+			out = append(out, &Node{Cat: CatArticle, Lemma: w.Lemma, Text: w.Text, SentencePos: w.Pos})
+			i++
+			continue
+		}
+		// Possessive marker: handled by the NP parser as a genitive.
+		if w.Lemma == "'s" {
+			out = append(out, &Node{Cat: CatPrep, Lemma: "'s", Text: w.Text, SentencePos: w.Pos})
+			i++
+			continue
+		}
+		// Function words that are neither lexicon phrases nor nouns are
+		// unknown terms: exactly the situation the paper's interactive
+		// feedback reports (e.g. "as" in Query 1, Fig. 10).
+		if functionWords[w.Lemma] {
+			out = append(out, &Node{Cat: CatUnknown, Lemma: w.Lemma, Text: w.Text, SentencePos: w.Pos})
+			i++
+			continue
+		}
+		// Default: common noun.
+		node := &Node{Cat: CatNoun, Lemma: w.Lemma, Text: w.Text, SentencePos: w.Pos}
+		node.Plural = strings.ToLower(w.Text) != w.Lemma && strings.HasSuffix(strings.ToLower(w.Text), "s")
+		out = append(out, node)
+		i++
+	}
+	return out
+}
+
+// functionWords are grammatical words outside the system's vocabulary;
+// they become unknown terms that the validator reports with rephrasing
+// suggestions.
+var functionWords = map[string]bool{
+	"as": true, "than": true, "like": true, "per": true,
+	"via": true, "both": true, "either": true, "neither": true,
+	"how": true, "why": true, "whether": true, "because": true,
+	"since": true, "while": true, "during": true, "against": true,
+	"toward": true, "towards": true, "upon": true, "among": true,
+	"amongst": true, "within": true, "without": true, "only": true,
+	"just": true, "even": true, "too": true, "very": true, "so": true,
+	"then": true, "thus": true, "hence": true, "respectively": true,
+	"else": true, "et": true, "al": true, "etc": true, "plus": true,
+	"apiece": true, "whatsoever": true, "but": true, "yet": true,
+}
+
+// properRun returns the length of the proper-noun run starting at i, or 0.
+func properRun(words []Word, i int) int {
+	if !words[i].Cap || words[i].Quoted {
+		return 0
+	}
+	// A capitalized word that is a lexicon phrase start ("Return") is
+	// not a proper noun; mid-sentence capitalization wins, though, since
+	// users capitalize values ("Gone with the Wind").
+	end := i + 1
+	for end < len(words) {
+		w := words[end]
+		if w.Cap && !w.Quoted && !w.Number {
+			end++
+			continue
+		}
+		// Allow internal function words when a capitalized word follows:
+		// "Gone with the Wind", "Lord of the Rings".
+		if isTitleConnector(w.Lemma) {
+			j := end + 1
+			for j < len(words) && isTitleConnector(words[j].Lemma) {
+				j++
+			}
+			if j < len(words) && words[j].Cap {
+				end = j + 1
+				continue
+			}
+		}
+		break
+	}
+	return end - i
+}
+
+func isTitleConnector(lemma string) bool {
+	switch lemma {
+	case "of", "the", "with", "a", "an", "in", "on", "for", "and":
+		return true
+	}
+	return false
+}
+
+// verbLike decides whether words[i] is a verb used as a connector. It is
+// deliberately conservative: -ed/-ing forms followed by "by", or any
+// -ed/-ing form when the previous emitted node is a noun or auxiliary.
+func verbLike(words []Word, i int, sofar []*Node) string {
+	w := strings.ToLower(words[i].Text)
+	isEd := strings.HasSuffix(w, "ed") && len(w) > 4
+	isIng := strings.HasSuffix(w, "ing") && len(w) > 5
+	if !isEd && !isIng {
+		return ""
+	}
+	if i+1 < len(words) && words[i+1].Lemma == "by" {
+		return VerbLemma(w)
+	}
+	if len(sofar) > 0 {
+		switch sofar[len(sofar)-1].Cat {
+		case CatNoun, CatAux, CatValue, CatRel, CatNeg, CatQuant, CatPron:
+			return VerbLemma(w)
+		}
+	}
+	return ""
+}
+
+// treeParser builds the dependency tree from the flat phrase list.
+type treeParser struct {
+	tree  *Tree
+	items []*Node
+	pos   int
+
+	lastNT   *Node // most recent common-noun head, for OT/PP attachment
+	lastNode *Node // most recent attached node of any kind
+}
+
+func (p *treeParser) cur() *Node {
+	if p.pos < len(p.items) {
+		return p.items[p.pos]
+	}
+	return nil
+}
+
+func (p *treeParser) advance() *Node {
+	n := p.cur()
+	if n != nil {
+		p.pos++
+	}
+	return n
+}
+
+func (p *treeParser) build() {
+	root := &Node{Cat: CatCommand, Lemma: "", Text: ""}
+	if c := p.cur(); c != nil && c.Cat == CatCommand {
+		root = p.advance()
+	} else if c != nil && c.Cat == CatRel && (c.Lemma == "which" || c.Lemma == "what" || c.Lemma == "who") {
+		// Sentence-initial wh-word heads the query ("Which books were
+		// published by X?").
+		c.Cat = CatCommand
+		root = p.advance()
+	} else {
+		p.tree.SyntheticRoot = true
+		root.ID = 0
+	}
+	p.tree.Root = root
+
+	// The returned noun-phrase list.
+	p.parseNPList(root)
+
+	for p.cur() != nil {
+		n := p.cur()
+		switch n.Cat {
+		case CatComma:
+			p.advance()
+		case CatRel:
+			p.advance()
+			p.parseClause(p.clauseAntecedent(root))
+		case CatOrder:
+			ob := p.advance()
+			root.AddChild(ob)
+			// "sorted by year": explicit key NP follows.
+			if c := p.cur(); c != nil && (c.Cat == CatNoun || c.Cat == CatArticle ||
+				c.Cat == CatAggregate || c.Cat == CatAdj) {
+				p.parseNP(ob)
+			}
+		case CatPrep, CatVerb:
+			// A stray connector continues the last noun phrase:
+			// "... movies by Ron Howard".
+			cm := p.advance()
+			host := p.lastNT
+			if host == nil {
+				host = root
+			}
+			host.AddChild(cm)
+			p.parseNPInto(cm)
+		case CatCompare, CatNeg:
+			// Clause without a relative marker: "... is the same as ...".
+			p.parseClause(p.clauseAntecedent(root))
+		case CatConj:
+			conj := p.advance()
+			// Either a conjoined continuation of the main list or a
+			// conjoined clause ("... and the year is after 1991").
+			if p.npThenPredicate(p.pos) {
+				pred := p.parseClause(p.clauseAntecedent(root))
+				if pred != nil && conj.Lemma == "or" {
+					pred.OrConj = true
+				}
+			} else {
+				p.parseNPList(root)
+			}
+		case CatQuant, CatArticle, CatAggregate, CatAdj, CatNoun, CatValue, CatPron:
+			// A fresh segment: a clause when a predicate follows the
+			// noun phrase, else more returned noun phrases.
+			if p.npThenPredicate(p.pos) {
+				p.parseClause(p.clauseAntecedent(root))
+			} else {
+				p.parseNPList(root)
+			}
+		default:
+			// Unknown word: attach under the last noun so the validator
+			// can point at it in context (Fig. 10 in the paper).
+			un := p.advance()
+			un.Cat = CatUnknown
+			host := p.lastNT
+			if host == nil {
+				host = root
+			}
+			host.AddChild(un)
+			// Its complement, if any, hangs below it.
+			if c := p.cur(); c != nil && c.Cat != CatComma {
+				p.parseNPInto(un)
+			}
+		}
+	}
+}
+
+// clauseAntecedent picks the node a predicate clause modifies: the most
+// recent noun head, else the root.
+func (p *treeParser) clauseAntecedent(root *Node) *Node {
+	if p.lastNT != nil {
+		return p.lastNT
+	}
+	return root
+}
+
+// parseNPList parses one or more conjoined noun phrases and attaches them
+// to parent.
+func (p *treeParser) parseNPList(parent *Node) {
+	for {
+		if !p.startsNP() {
+			return
+		}
+		p.parseNP(parent)
+		if c := p.cur(); c != nil && c.Cat == CatConj && p.conjExtendsNP() {
+			p.advance()
+			continue
+		}
+		return
+	}
+}
+
+// conjExtendsNP reports whether the conjunction at the cursor continues
+// the current noun-phrase list (another object) rather than opening a
+// conjoined clause ("... and the year is after 1991").
+func (p *treeParser) conjExtendsNP() bool {
+	i := p.pos + 1
+	if i >= len(p.items) {
+		return false
+	}
+	switch p.items[i].Cat {
+	case CatNoun, CatValue, CatArticle, CatQuant, CatAggregate, CatAdj, CatPron:
+		return !p.npThenPredicate(i)
+	}
+	return false
+}
+
+// npThenPredicate reports whether the tokens starting at index i look like
+// a noun phrase immediately followed by a predicate (comparison or verb) —
+// i.e. a clause rather than a bare noun phrase.
+func (p *treeParser) npThenPredicate(i int) bool {
+	// Skip determiner-ish prefixes.
+	for i < len(p.items) {
+		switch p.items[i].Cat {
+		case CatArticle, CatAdj, CatQuant, CatAggregate, CatPron:
+			i++
+			continue
+		}
+		break
+	}
+	if i >= len(p.items) {
+		return false
+	}
+	switch p.items[i].Cat {
+	case CatNoun, CatValue:
+		i++
+	default:
+		return false
+	}
+	// Compound nouns extend the head.
+	for i < len(p.items) && p.items[i].Cat == CatNoun {
+		i++
+	}
+	if i >= len(p.items) {
+		return false
+	}
+	switch p.items[i].Cat {
+	case CatCompare, CatVerb, CatNeg:
+		return true
+	}
+	return false
+}
+
+func (p *treeParser) startsNP() bool {
+	c := p.cur()
+	if c == nil {
+		return false
+	}
+	switch c.Cat {
+	case CatNoun, CatValue, CatArticle, CatQuant, CatAggregate, CatAdj, CatPron:
+		return true
+	}
+	return false
+}
+
+// parseNPInto parses an NP and attaches it to parent, tolerating a leading
+// pronoun ("including their year"): the pronoun attaches first, the NP
+// follows under the same parent.
+func (p *treeParser) parseNPInto(parent *Node) *Node {
+	if c := p.cur(); c != nil && c.Cat == CatPron {
+		parent.AddChild(p.advance())
+	}
+	if !p.startsNP() {
+		return nil
+	}
+	top := p.parseNP(parent)
+	// Conjoined objects share the connector: "their year and title".
+	for {
+		c := p.cur()
+		if c == nil || c.Cat != CatConj || !p.conjExtendsNP() {
+			break
+		}
+		conj := p.advance()
+		next := p.parseNP(parent)
+		if next != nil && conj.Lemma == "or" {
+			npHead(next).OrConj = true
+		}
+	}
+	return top
+}
+
+// parseNP parses one noun phrase — determiner/quantifier/aggregate chain,
+// head, and trailing modifiers (preposition phrases, participles, relative
+// clauses) — attaching its top node to parent (when parent is non-nil) and
+// returning the top node.
+func (p *treeParser) parseNP(parent *Node) *Node {
+	var fts []*Node
+	var quant *Node
+	var mods []string
+	for {
+		c := p.cur()
+		if c == nil {
+			break
+		}
+		switch c.Cat {
+		case CatArticle:
+			p.advance()
+			continue
+		case CatQuant:
+			quant = p.advance()
+			continue
+		case CatAggregate:
+			fts = append(fts, p.advance())
+			continue
+		case CatAdj:
+			mods = append(mods, p.advance().Lemma)
+			continue
+		}
+		break
+	}
+	head := p.cur()
+	if head == nil || (head.Cat != CatNoun && head.Cat != CatValue && head.Cat != CatPron) {
+		// Dangling determiner chain; attach what we have so the
+		// validator can complain about the missing head.
+		var top *Node
+		for _, ft := range fts {
+			if top == nil {
+				top = ft
+			} else {
+				top.AddChild(ft)
+			}
+		}
+		if top != nil && parent != nil {
+			parent.AddChild(top)
+		}
+		return top
+	}
+	p.advance()
+	head.Mods = append(head.Mods, mods...)
+
+	// Compound nouns: "book title" — the first noun modifies the second.
+	// Keep only for noun+noun with no separator, folding into Mods.
+	for {
+		c := p.cur()
+		if c == nil || c.Cat != CatNoun || head.Cat != CatNoun {
+			break
+		}
+		// "movie director": treat prior head as modifier of the new head.
+		head.Plural = c.Plural
+		head.Mods = append(head.Mods, head.Lemma)
+		head.Lemma, head.Text = c.Lemma, head.Text+" "+c.Text
+		p.advance()
+	}
+
+	// Apposition: "the year 1994" — a value token directly following a
+	// noun head names that noun's value.
+	if c := p.cur(); c != nil && c.Cat == CatValue && head.Cat == CatNoun {
+		head.AddChild(p.advance())
+	}
+
+	// Genitive: "the author's name" means "the name of the author" —
+	// the possessed noun is the real head, the possessor hangs beneath
+	// it via an "of" connector.
+	if c := p.cur(); c != nil && c.Cat == CatPrep && c.Lemma == "'s" {
+		poss := p.advance() // the 's node becomes the connector
+		poss.Lemma = "of"
+		attached := false
+		defer func() {
+			if !attached {
+				// A dangling genitive ("the book's.") surfaces as an
+				// unknown term for the validator to report.
+				poss.Cat = CatUnknown
+				poss.Lemma = "'s"
+				head.AddChild(poss)
+			}
+		}()
+		if c2 := p.cur(); c2 != nil && (c2.Cat == CatNoun || c2.Cat == CatArticle || c2.Cat == CatAdj) {
+			possessor := head
+			var mods2 []string
+			for {
+				c3 := p.cur()
+				if c3 == nil {
+					break
+				}
+				if c3.Cat == CatArticle {
+					p.advance()
+					continue
+				}
+				if c3.Cat == CatAdj {
+					mods2 = append(mods2, p.advance().Lemma)
+					continue
+				}
+				break
+			}
+			if c3 := p.cur(); c3 != nil && c3.Cat == CatNoun {
+				head = p.advance()
+				head.Mods = append(head.Mods, mods2...)
+				head.AddChild(poss)
+				poss.AddChild(possessor)
+				attached = true
+			}
+		}
+	}
+
+	// Assemble the chain top-down: parent → FT… → (QT) → head.
+	top := head
+	if quant != nil && p.keepQuant(parent, quant) {
+		quant.AddChild(head)
+		top = quant
+		head.Quant = quant.Lemma
+	}
+	for i := len(fts) - 1; i >= 0; i-- {
+		fts[i].AddChild(top)
+		top = fts[i]
+	}
+	if parent != nil {
+		parent.AddChild(top)
+	}
+	if head.Cat == CatNoun {
+		p.lastNT = head
+	}
+	p.lastNode = head
+
+	// Trailing attachments to the head.
+	for {
+		c := p.cur()
+		if c == nil {
+			break
+		}
+		switch c.Cat {
+		case CatPrep:
+			// Attach unless this preposition opens an ORDER phrase that
+			// segment() already captured (it did: CatOrder), so any
+			// CatPrep here is a genuine connector.
+			cm := p.advance()
+			head.AddChild(cm)
+			p.parseNPInto(cm)
+			continue
+		case CatVerb:
+			cm := p.advance()
+			head.AddChild(cm)
+			p.parseNPInto(cm)
+			continue
+		case CatRel:
+			// Relative clause modifying this head: "books that contain…".
+			// Only when a predicate actually follows; a bare "that" ends
+			// the NP.
+			if p.relClauseFollows() {
+				p.advance()
+				p.parseClause(head)
+				continue
+			}
+		}
+		break
+	}
+	return top
+}
+
+// keepQuant decides whether a quantifier survives as a tree node. The
+// paper's figures drop vacuous determiners ("Return every director" has no
+// QT node in Fig. 2); quantifiers matter inside predicates, where they map
+// to XQuery quantifier expressions (Fig. 7).
+func (p *treeParser) keepQuant(parent *Node, quant *Node) bool {
+	switch quant.Lemma {
+	case "each", "all", "any", "every":
+		// Vacuous as plain determiners; meaningful only as the subject
+		// of a predicate clause (parseClause passes parent == nil).
+		return parent == nil
+	}
+	return true // "some", "no" always matter
+}
+
+// relClauseFollows checks that what follows a relative marker looks like a
+// predicate (so "the word that ..." is a clause, but a trailing "that" is
+// not).
+func (p *treeParser) relClauseFollows() bool {
+	if p.pos+1 >= len(p.items) {
+		return false
+	}
+	switch p.items[p.pos+1].Cat {
+	case CatCompare, CatVerb, CatNeg, CatAux,
+		CatNoun, CatArticle, CatQuant, CatAggregate, CatValue, CatPron, CatAdj:
+		return true
+	}
+	return false
+}
+
+// parseClause parses a predicate clause and attaches its operator to the
+// antecedent noun: [subject] (NEG) OT/VERB [object]. It returns the
+// predicate node it created (the OT or connector), or nil for an
+// apposition.
+func (p *treeParser) parseClause(antecedent *Node) *Node {
+	var subject *Node
+	// Subject NP, unless the predicate starts immediately (subject gap:
+	// "books that contain the word XML").
+	if p.startsNP() {
+		subject = p.parseNP(nil)
+	}
+	var neg *Node
+	if c := p.cur(); c != nil && c.Cat == CatNeg {
+		neg = p.advance()
+	}
+	c := p.cur()
+	switch {
+	case c != nil && c.Cat == CatCompare:
+		ot := p.advance()
+		antecedent.AddChild(ot)
+		if neg != nil {
+			ot.AddChild(neg)
+		}
+		if subject != nil {
+			ot.AddChild(subject)
+			p.relinkLastNT(subject)
+		}
+		// Negation can also follow the copula: "is not".
+		if c2 := p.cur(); c2 != nil && c2.Cat == CatNeg {
+			ot.AddChild(p.advance())
+		}
+		// Merged copula + comparison: "is more than" arrives as two
+		// compare nodes ("be", "more than"); fold the second into the
+		// first.
+		if c2 := p.cur(); c2 != nil && c2.Cat == CatCompare && ot.Cmp == CmpEq {
+			fold := p.advance()
+			ot.Cmp = fold.Cmp
+			ot.Lemma = ot.Lemma + " " + fold.Lemma
+			ot.Text = ot.Text + " " + fold.Text
+		}
+		p.parseNPInto(ot)
+		return ot
+	case c != nil && c.Cat == CatVerb:
+		cm := p.advance()
+		host := antecedent
+		if subject != nil {
+			host = npHead(subject)
+			antecedent.AddChild(subject)
+			p.relinkLastNT(subject)
+		}
+		host.AddChild(cm)
+		if neg != nil {
+			cm.AddChild(neg)
+		}
+		p.parseNPInto(cm)
+		return cm
+	case c != nil && c.Cat == CatPrep:
+		// "where ... with ..." degenerates to a connector.
+		cm := p.advance()
+		host := antecedent
+		if subject != nil {
+			host = npHead(subject)
+			antecedent.AddChild(subject)
+			p.relinkLastNT(subject)
+		}
+		host.AddChild(cm)
+		if neg != nil {
+			cm.AddChild(neg)
+		}
+		p.parseNPInto(cm)
+		return cm
+	default:
+		// No predicate: the "clause" was really an apposition — attach
+		// the subject NP to the antecedent directly.
+		if subject != nil {
+			antecedent.AddChild(subject)
+			p.relinkLastNT(subject)
+		}
+		if neg != nil {
+			antecedent.AddChild(neg)
+		}
+	}
+	return nil
+}
+
+// npHead returns the noun head beneath an NP top node (skipping FT/QT
+// chain nodes).
+func npHead(top *Node) *Node {
+	n := top
+	for n != nil && (n.Cat == CatAggregate || n.Cat == CatQuant) && len(n.Children) > 0 {
+		n = n.Children[0]
+	}
+	if n == nil {
+		return top
+	}
+	return n
+}
+
+// relinkLastNT updates the last-NT tracker after attaching a deferred
+// subject NP.
+func (p *treeParser) relinkLastNT(top *Node) {
+	if h := npHead(top); h.Cat == CatNoun {
+		p.lastNT = h
+	}
+}

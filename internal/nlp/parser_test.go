@@ -1,0 +1,333 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t testing.TB, sentence string) *Tree {
+	t.Helper()
+	tree, err := Parse(sentence)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sentence, err)
+	}
+	return tree
+}
+
+// treeShape renders the tree compactly as lemma(category) nesting for
+// golden comparisons: Return(command){director(noun){...}}
+func treeShape(n *Node) string {
+	var sb strings.Builder
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		sb.WriteString(n.Lemma)
+		sb.WriteString("(")
+		sb.WriteString(n.Cat.String())
+		sb.WriteString(")")
+		if len(n.Children) > 0 {
+			sb.WriteString("{")
+			for i, c := range n.Children {
+				if i > 0 {
+					sb.WriteString(" ")
+				}
+				walk(c)
+			}
+			sb.WriteString("}")
+		}
+	}
+	walk(n)
+	return sb.String()
+}
+
+func TestTokenize(t *testing.T) {
+	words := Tokenize(`Return all books published by "Addison-Wesley" after 1991.`)
+	var texts []string
+	for _, w := range words {
+		texts = append(texts, w.Text)
+	}
+	want := []string{"Return", "all", "books", "published", "by", "Addison-Wesley", "after", "1991"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token[%d] = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if !words[5].Quoted {
+		t.Error("Addison-Wesley should be quoted")
+	}
+	if !words[7].Number {
+		t.Error("1991 should be a number")
+	}
+}
+
+func TestTokenizePossessive(t *testing.T) {
+	words := Tokenize("the author's name")
+	var lemmas []string
+	for _, w := range words {
+		lemmas = append(lemmas, w.Lemma)
+	}
+	want := []string{"the", "author", "'s", "name"}
+	if strings.Join(lemmas, " ") != strings.Join(want, " ") {
+		t.Errorf("lemmas = %v, want %v", lemmas, want)
+	}
+}
+
+func TestLemma(t *testing.T) {
+	cases := map[string]string{
+		"movies": "movie", "books": "book", "directors": "director",
+		"is": "be", "are": "be", "was": "be",
+		"titles": "title", "countries": "country", "boxes": "box",
+		"churches": "church", "classes": "class", "status": "status",
+		"press": "press", "this": "this", "Movies": "movie",
+	}
+	for in, want := range cases {
+		if got := Lemma(in); got != want {
+			t.Errorf("Lemma(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerbLemma(t *testing.T) {
+	cases := map[string]string{
+		"directed": "direct", "published": "publish", "written": "write",
+		"planned": "plan", "edited": "edite", // imperfect but stable
+		"containing": "contain", "wrote": "write",
+	}
+	for in, want := range cases {
+		if got := VerbLemma(in); got != want {
+			t.Errorf("VerbLemma(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParseTreeQuery2 reproduces Fig. 2 of the paper: the parse tree of
+// "Return every director, where the number of movies directed by the
+// director is the same as the number of movies directed by Ron Howard."
+func TestParseTreeQuery2(t *testing.T) {
+	tree := mustParse(t, "Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.")
+	want := "return(command){director(noun){be the same as(compare){the number of(aggregate){movie(noun){direct by(verb){director(noun)}}} the number of(aggregate){movie(noun){direct by(verb){Ron Howard(value)}}}}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("Query 2 tree:\n got %s\nwant %s\nfull:\n%s", got, want, tree)
+	}
+}
+
+// TestParseTreeQuery3 reproduces Fig. 3: "Return the directors of movies,
+// where the title of each movie is the same as the title of a book."
+func TestParseTreeQuery3(t *testing.T) {
+	tree := mustParse(t, "Return the directors of movies, where the title of each movie is the same as the title of a book.")
+	want := "return(command){director(noun){of(prep){movie(noun){be the same as(compare){title(noun){of(prep){movie(noun)}} title(noun){of(prep){book(noun)}}}}}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("Query 3 tree:\n got %s\nwant %s\nfull:\n%s", got, want, tree)
+	}
+}
+
+// TestParseTreeQuery1 reproduces Fig. 10: "Return every director who has
+// directed as many movies as has Ron Howard" contains the unknown term
+// "as" (twice), which validation later reports.
+func TestParseTreeQuery1(t *testing.T) {
+	tree := mustParse(t, "Return every director who has directed as many movies as has Ron Howard.")
+	var unknowns []string
+	for _, n := range tree.Nodes() {
+		if n.Cat == CatUnknown {
+			unknowns = append(unknowns, n.Lemma)
+		}
+	}
+	if len(unknowns) != 2 || unknowns[0] != "as" || unknowns[1] != "as" {
+		t.Errorf("unknown terms = %v, want [as as]\n%s", unknowns, tree)
+	}
+	// The verb "directed" must still be recognized as a connector.
+	found := false
+	for _, n := range tree.Nodes() {
+		if n.Cat == CatVerb && n.Lemma == "direct" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no direct(verb) node:\n%s", tree)
+	}
+}
+
+func TestParseAggregateWithConnector(t *testing.T) {
+	// "Return the lowest price for each book" — FT attaches to price,
+	// book hangs via the "for" connector (paper Sec. 3.2.3).
+	tree := mustParse(t, "Return the lowest price for each book.")
+	want := "return(command){the lowest(aggregate){price(noun){for(prep){book(noun)}}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseBookWithLowestPrice(t *testing.T) {
+	// "Return each book with the lowest price" — FT under the CM.
+	tree := mustParse(t, "Return each book with the lowest price.")
+	want := "return(command){book(noun){with(prep){the lowest(aggregate){price(noun)}}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseValuePredicate(t *testing.T) {
+	tree := mustParse(t, `Find all movies directed by "Ron Howard".`)
+	want := "find(command){movie(noun){direct by(verb){Ron Howard(value)}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseWherePredicateWithValue(t *testing.T) {
+	tree := mustParse(t, `List books where the publisher is "Addison-Wesley" and the year is after 1991.`)
+	shape := treeShape(tree.Root)
+	for _, frag := range []string{
+		"publisher(noun)",
+		`Addison-Wesley(value)`,
+		"year(noun)",
+		"1991(value)",
+	} {
+		if !strings.Contains(shape, frag) {
+			t.Errorf("missing %s in %s", frag, shape)
+		}
+	}
+}
+
+func TestParseConjoinedReturnList(t *testing.T) {
+	tree := mustParse(t, "Return the title and the year of every book.")
+	// Documented conjunct-scope behaviour: the PP attaches to the
+	// nearest conjunct (year), and title/year are siblings under return.
+	want := "return(command){title(noun) year(noun){of(prep){book(noun)}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	tree := mustParse(t, "List the titles of books sorted by year.")
+	shape := treeShape(tree.Root)
+	if !strings.Contains(shape, "sorted by(order){year(noun)}") {
+		t.Errorf("order phrase missing explicit key: %s", shape)
+	}
+	tree = mustParse(t, "List the titles of all books in alphabetic order.")
+	shape = treeShape(tree.Root)
+	if !strings.Contains(shape, "in alphabetic order(order)") {
+		t.Errorf("bare order phrase missing: %s", shape)
+	}
+}
+
+func TestParsePossessive(t *testing.T) {
+	tree := mustParse(t, "Return the book's title.")
+	want := "return(command){title(noun){of(prep){book(noun)}}}"
+	if got := treeShape(tree.Root); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestParseQuantifierInPredicate(t *testing.T) {
+	tree := mustParse(t, "Find books where every author is Stevens.")
+	shape := treeShape(tree.Root)
+	if !strings.Contains(shape, "every(quant){author(noun)}") {
+		t.Errorf("quantifier not kept in predicate: %s", shape)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	tree := mustParse(t, `Find books where the publisher is not "Addison-Wesley".`)
+	shape := treeShape(tree.Root)
+	if !strings.Contains(shape, "not(neg)") {
+		t.Errorf("negation missing: %s", shape)
+	}
+}
+
+func TestParseCountPredicate(t *testing.T) {
+	tree := mustParse(t, "Find books where the number of authors is more than 2.")
+	shape := treeShape(tree.Root)
+	for _, frag := range []string{"the number of(aggregate)", "author(noun)", "2(value)"} {
+		if !strings.Contains(shape, frag) {
+			t.Errorf("missing %s in %s", frag, shape)
+		}
+	}
+	// The copula folded with "more than" must compare greater-than.
+	for _, n := range tree.Nodes() {
+		if n.Cat == CatCompare && n.Cmp != CmpGt {
+			t.Errorf("compare node %q has cmp %d, want CmpGt", n.Lemma, n.Cmp)
+		}
+	}
+}
+
+func TestParseContains(t *testing.T) {
+	tree := mustParse(t, `List all titles that contain the word "XML".`)
+	shape := treeShape(tree.Root)
+	if !strings.Contains(shape, `contain the word(compare){XML(value)}`) {
+		t.Errorf("contains predicate wrong: %s", shape)
+	}
+}
+
+func TestParseSyntheticRoot(t *testing.T) {
+	tree := mustParse(t, "the books by Stevens")
+	if !tree.SyntheticRoot {
+		t.Error("expected synthetic root for command-less input")
+	}
+}
+
+func TestParseWhQuery(t *testing.T) {
+	tree := mustParse(t, "What are the titles of books published in 1994?")
+	if tree.SyntheticRoot {
+		t.Errorf("wh-query should have a command root:\n%s", tree)
+	}
+	if tree.Root.Lemma != "what be" {
+		t.Errorf("root lemma = %q, want 'what be'", tree.Root.Lemma)
+	}
+}
+
+func TestParseProperNounRun(t *testing.T) {
+	tree := mustParse(t, "Find the director of Gone with the Wind.")
+	shape := treeShape(tree.Root)
+	if !strings.Contains(shape, "Gone with the Wind(value)") {
+		t.Errorf("title run not merged: %s", shape)
+	}
+}
+
+func TestNodeIDsAreSequential(t *testing.T) {
+	tree := mustParse(t, "Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.")
+	seen := map[int]bool{}
+	for _, n := range tree.Nodes() {
+		if n.ID != 0 && seen[n.ID] {
+			t.Errorf("duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if id := tree.NewNodeID(); seen[id] {
+		t.Errorf("NewNodeID returned an existing ID %d", id)
+	}
+}
+
+func TestInsertAbove(t *testing.T) {
+	tree := mustParse(t, `Find all movies directed by "Ron Howard".`)
+	var vt *Node
+	for _, n := range tree.Nodes() {
+		if n.Cat == CatValue {
+			vt = n
+		}
+	}
+	if vt == nil {
+		t.Fatal("no value node")
+	}
+	parent := vt.Parent
+	nt := &Node{Cat: CatNoun, Lemma: "director", Implicit: true}
+	vt.InsertAbove(nt)
+	if vt.Parent != nt || nt.Parent != parent {
+		t.Error("InsertAbove links wrong")
+	}
+	found := false
+	for _, c := range parent.Children {
+		if c == nt {
+			found = true
+		}
+		if c == vt {
+			t.Error("old child still attached to parent")
+		}
+	}
+	if !found {
+		t.Error("new node not attached to parent")
+	}
+}

@@ -1,0 +1,136 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Word is one surface token of the input sentence.
+type Word struct {
+	// Text is the original spelling (quotes stripped for quoted values).
+	Text string
+	// Lemma is the normalized form used for lexicon lookup.
+	Lemma string
+	// Quoted marks a quotation-mark-delimited value.
+	Quoted bool
+	// Number marks a numeric literal.
+	Number bool
+	// Cap marks a capitalized word (candidate proper noun).
+	Cap bool
+	// Pos is the 0-based position in the sentence.
+	Pos int
+}
+
+// Tokenize splits a sentence into words, keeping quoted strings as single
+// value tokens and separating trailing punctuation. Hyphenated words stay
+// whole ("Addison-Wesley").
+func Tokenize(sentence string) []Word {
+	var words []Word
+	rs := []rune(sentence)
+	i := 0
+	pos := 0
+	var flush func(text string, quoted bool)
+	flush = func(text string, quoted bool) {
+		if text == "" {
+			return
+		}
+		if !quoted {
+			// Possessive and contraction splitting.
+			if strings.HasSuffix(text, "'s") && len(text) > 2 {
+				flush(text[:len(text)-2], false)
+				words = append(words, Word{Text: "'s", Lemma: "'s", Pos: pos})
+				pos++
+				return
+			}
+			if strings.HasSuffix(text, "n't") && len(text) > 3 {
+				flush(text[:len(text)-3], false)
+				words = append(words, Word{Text: "n't", Lemma: "not", Pos: pos})
+				pos++
+				return
+			}
+		}
+		w := Word{Text: text, Quoted: quoted, Pos: pos}
+		pos++
+		w.Number = isNumber(text)
+		first, _ := firstRune(text)
+		w.Cap = unicode.IsUpper(first)
+		if quoted || w.Number {
+			w.Lemma = text
+		} else {
+			w.Lemma = Lemma(text)
+		}
+		words = append(words, w)
+	}
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '"' || r == '“': // straight or curly open quote
+			close := '"'
+			if r == '“' {
+				close = '”'
+			}
+			j := i + 1
+			for j < len(rs) && rs[j] != close && rs[j] != '"' {
+				j++
+			}
+			flush(strings.TrimSpace(string(rs[i+1:min(j, len(rs))])), true)
+			i = j + 1
+		case unicode.IsSpace(r):
+			i++
+		case r == ',' || r == ';':
+			w := Word{Text: string(r), Lemma: ",", Pos: pos}
+			pos++
+			words = append(words, w)
+			i++
+		case r == '.' || r == '?' || r == '!':
+			i++ // sentence-final punctuation dropped
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) ||
+				rs[j] == '-' || rs[j] == '\'' || rs[j] == '.' && j+1 < len(rs) && unicode.IsDigit(rs[j+1]) ||
+				rs[j] == '/') {
+				j++
+			}
+			flush(string(rs[i:j]), false)
+			i = j
+		default:
+			i++ // skip stray punctuation
+		}
+	}
+	return words
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for _, r := range s {
+		if r == '.' {
+			if dot {
+				return false
+			}
+			dot = true
+			continue
+		}
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func firstRune(s string) (rune, bool) {
+	for _, r := range s {
+		return r, true
+	}
+	return 0, false
+}
+
+// numberWords maps spelled-out numbers to digits so "more than two
+// authors" compares numerically.
+var numberWords = map[string]string{
+	"one": "1", "two": "2", "three": "3", "four": "4", "five": "5",
+	"six": "6", "seven": "7", "eight": "8", "nine": "9", "ten": "10",
+	"zero": "0",
+}

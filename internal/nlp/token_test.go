@@ -1,0 +1,145 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"...", nil},
+		{"Find books.", []string{"Find", "books"}},
+		{"books, articles; papers", []string{"books", ",", "articles", ";", "papers"}},
+		{"price is 65.95 dollars", []string{"price", "is", "65.95", "dollars"}},
+		{`"quoted value" rest`, []string{"quoted value", "rest"}},
+		{"“curly quotes”", []string{"curly quotes"}},
+		{"don't stop", []string{"do", "n't", "stop"}},
+		{"the book's title", []string{"the", "book", "'s", "title"}},
+		{"Addison-Wesley", []string{"Addison-Wesley"}},
+		{"TCP/IP", []string{"TCP/IP"}},
+	}
+	for _, c := range cases {
+		words := Tokenize(c.in)
+		var got []string
+		for _, w := range words {
+			got = append(got, w.Text)
+		}
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeUnterminatedQuote(t *testing.T) {
+	words := Tokenize(`Find "unterminated`)
+	if len(words) != 2 || !words[1].Quoted {
+		t.Errorf("unterminated quote handling: %+v", words)
+	}
+}
+
+func TestTokenizeNumbersAndCaps(t *testing.T) {
+	words := Tokenize("In 1994 Ron Howard made 2 movies")
+	byText := map[string]Word{}
+	for _, w := range words {
+		byText[w.Text] = w
+	}
+	if !byText["1994"].Number || !byText["2"].Number {
+		t.Error("numbers not flagged")
+	}
+	if !byText["Ron"].Cap || !byText["Howard"].Cap {
+		t.Error("capitalized words not flagged")
+	}
+	if byText["movies"].Cap {
+		t.Error("lowercase flagged as capitalized")
+	}
+}
+
+// TestLemmaIdempotent: lemmatizing a lemma is a no-op.
+func TestLemmaIdempotent(t *testing.T) {
+	words := []string{
+		"movies", "books", "directors", "titles", "is", "are",
+		"countries", "boxes", "classes", "publishers", "years",
+		"author", "price", "was", "has",
+	}
+	for _, w := range words {
+		l := Lemma(w)
+		if Lemma(l) != l {
+			t.Errorf("Lemma not idempotent: %q -> %q -> %q", w, l, Lemma(l))
+		}
+	}
+}
+
+// TestTokenizeNeverPanics fuzzes the tokenizer with arbitrary strings.
+func TestTokenizeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		words := Tokenize(s)
+		for _, w := range words {
+			if w.Text == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanics fuzzes the full parser with word salad built from
+// the system vocabulary.
+func TestParseNeverPanics(t *testing.T) {
+	vocab := []string{
+		"return", "find", "the", "number", "of", "books", "where",
+		"is", "more", "than", "and", "or", "every", "not", "by",
+		"with", "sorted", "1994", `"Value"`, "as", ",", "authors",
+		"same", "at", "least", "contain", "title",
+	}
+	f := func(idxs []uint8) bool {
+		if len(idxs) == 0 {
+			return true
+		}
+		if len(idxs) > 18 {
+			idxs = idxs[:18]
+		}
+		var parts []string
+		for _, i := range idxs {
+			parts = append(parts, vocab[int(i)%len(vocab)])
+		}
+		tree, err := Parse(strings.Join(parts, " "))
+		if err != nil {
+			return true // empty-ish input
+		}
+		// The tree must be well-formed: every child's parent pointer is
+		// consistent.
+		for _, n := range tree.Nodes() {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhrasesContaining(t *testing.T) {
+	got := PhrasesContaining("as")
+	if len(got) == 0 {
+		t.Fatal("no phrases containing 'as'")
+	}
+	if got[0] != "be the same as" {
+		t.Errorf("first suggestion = %q, want the comparison phrase first", got[0])
+	}
+	if got := PhrasesContaining("zzz"); len(got) != 0 {
+		t.Errorf("unexpected phrases: %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+package nlp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one node of a dependency parse tree: a word or merged phrase
+// with its syntactic category and attachment children. The core package
+// decorates these nodes with the paper's token classification.
+type Node struct {
+	// ID is assigned in sentence order, 1-based, matching the paper's
+	// figures.
+	ID int
+	// Cat is the syntactic category.
+	Cat Category
+	// Fn is the aggregate function for CatAggregate nodes.
+	Fn Func
+	// Cmp is the comparison kind for CatCompare nodes.
+	Cmp CmpKind
+	// Desc marks descending order for CatOrder nodes.
+	Desc bool
+	// Lemma is the normalized phrase ("be the same as", "movie",
+	// "direct by").
+	Lemma string
+	// Text is the original surface text of the phrase.
+	Text string
+	// Mods holds modifier lemmas attached to a noun ("first", "other").
+	Mods []string
+	// Quant is the quantifier lemma kept on this noun, if any.
+	Quant string
+	// Plural records whether a noun was plural in the surface form.
+	Plural bool
+	// Implicit marks an implicit name token inserted during validation
+	// (Definition 11); such nodes have no surface words.
+	Implicit bool
+	// OrConj marks a predicate introduced by the conjunction "or"
+	// rather than "and" (the disjunction extension).
+	OrConj bool
+	// SentencePos is the position of the phrase's first word.
+	SentencePos int
+
+	Parent   *Node
+	Children []*Node
+}
+
+// AddChild attaches c as the last child of n.
+func (n *Node) AddChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// InsertAbove inserts m between n and its parent (m becomes n's parent).
+// Used for implicit name-token insertion.
+func (n *Node) InsertAbove(m *Node) {
+	p := n.Parent
+	if p != nil {
+		for i, c := range p.Children {
+			if c == n {
+				p.Children[i] = m
+				break
+			}
+		}
+	}
+	m.Parent = p
+	m.Children = append(m.Children, n)
+	n.Parent = m
+}
+
+// IsValue reports whether the node is a value (quoted string, proper noun
+// or number).
+func (n *Node) IsValue() bool { return n.Cat == CatValue }
+
+// IsNoun reports whether the node is a common-noun head.
+func (n *Node) IsNoun() bool { return n.Cat == CatNoun }
+
+// Tree is a parsed sentence.
+type Tree struct {
+	// Root is the command node (possibly a synthetic empty command when
+	// the sentence had none; validation reports that).
+	Root *Node
+	// Sentence is the original input.
+	Sentence string
+	// SyntheticRoot is true when no command token was found.
+	SyntheticRoot bool
+
+	nextID int
+}
+
+// NewNodeID returns a fresh node ID for nodes created after parsing
+// (implicit NTs inserted by validation).
+func (t *Tree) NewNodeID() int {
+	t.nextID++
+	return t.nextID
+}
+
+// Nodes returns all nodes of the tree in pre-order.
+func (t *Tree) Nodes() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return out
+}
+
+// String renders the tree in an indented one-node-per-line format used by
+// tests and the CLI's debug view, e.g.:
+//
+//	Return [command]
+//	  director [noun]
+//	    be the same as [compare]
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		for i := 0; i < depth; i++ {
+			sb.WriteString("  ")
+		}
+		label := n.Text
+		if label == "" {
+			label = n.Lemma
+		}
+		if n.Implicit {
+			label = "[" + n.Lemma + "]"
+		}
+		fmt.Fprintf(&sb, "%s [%s]\n", label, n.Cat)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root, 0)
+	}
+	return sb.String()
+}

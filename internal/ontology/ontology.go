@@ -1,0 +1,158 @@
+// Package ontology provides term expansion for name tokens: mapping the
+// nouns a user types ("writer", "film") onto the element and attribute
+// labels actually present in the database ("author", "movie"). The paper
+// uses WordNet plus optional domain-specific ontologies for this task
+// (Sec. 4, "Term Expansion"); this package implements the same code path
+// with a compact built-in thesaurus and an API for loading domain
+// synonyms.
+package ontology
+
+import (
+	"sort"
+	"strings"
+)
+
+// Ontology maps terms to synonym sets. The zero value is not usable;
+// construct with New.
+type Ontology struct {
+	syn map[string]map[string]bool
+}
+
+// New returns an ontology preloaded with a small generic thesaurus
+// covering the bibliographic and movie vocabulary of the evaluation
+// corpora, playing the role of WordNet in the original system.
+func New() *Ontology {
+	o := &Ontology{syn: make(map[string]map[string]bool)}
+	groups := [][]string{
+		{"author", "writer", "creator"},
+		{"movie", "film", "picture"},
+		{"director", "filmmaker"},
+		{"book", "publication", "volume"},
+		{"article", "paper"},
+		{"year", "date"},
+		{"price", "cost"},
+		{"publisher", "press"},
+		{"title", "heading"},
+		{"editor"},
+		{"affiliation", "organization", "institution", "employer"},
+		{"last", "surname", "lastname"},
+		{"first", "firstname", "forename"},
+		{"journal", "periodical"},
+		{"page", "pages"},
+		{"volume"},
+		{"number", "issue"},
+		{"url", "link", "address"},
+		{"isbn"},
+		{"review", "critique"},
+		{"name"},
+		{"country", "nation"},
+		{"city", "town"},
+		{"person", "people", "individual"},
+	}
+	for _, g := range groups {
+		o.AddGroup(g...)
+	}
+	return o
+}
+
+// NewEmpty returns an ontology with no entries (used by ablation tests and
+// by callers that supply a purely domain-specific vocabulary).
+func NewEmpty() *Ontology {
+	return &Ontology{syn: make(map[string]map[string]bool)}
+}
+
+// AddGroup records that all the given terms are synonyms of one another.
+func (o *Ontology) AddGroup(terms ...string) {
+	for _, a := range terms {
+		a = strings.ToLower(a)
+		set := o.syn[a]
+		if set == nil {
+			set = make(map[string]bool)
+			o.syn[a] = set
+		}
+		for _, b := range terms {
+			b = strings.ToLower(b)
+			if a != b {
+				set[b] = true
+			}
+		}
+	}
+}
+
+// Expand returns the term followed by its synonyms, sorted for
+// determinism.
+func (o *Ontology) Expand(term string) []string {
+	term = strings.ToLower(term)
+	out := []string{term}
+	var syns []string
+	for s := range o.syn[term] {
+		syns = append(syns, s)
+	}
+	sort.Strings(syns)
+	return append(out, syns...)
+}
+
+// Stem reduces a word to a crude stem (suffix stripping), enough to match
+// "publishers" to "publisher" and "directing" to "direct".
+func Stem(w string) string {
+	w = strings.ToLower(w)
+	for _, suf := range []string{"ings", "ing", "ers", "er", "ies", "es", "s", "ed"} {
+		rest := len(w) - len(suf)
+		// Agentive/gerund suffixes need a longer stem so "paper" does
+		// not strip to "pap".
+		min := 3
+		if strings.HasPrefix(suf, "er") || strings.HasPrefix(suf, "ing") {
+			min = 5
+		}
+		if strings.HasSuffix(w, suf) && rest >= min {
+			return w[:rest]
+		}
+	}
+	return w
+}
+
+// MatchLabels returns the document labels that the term can denote: exact
+// match first, then synonym matches, then stem matches. The result is
+// empty when nothing in the document corresponds to the term.
+func (o *Ontology) MatchLabels(term string, labels []string) []string {
+	term = strings.ToLower(term)
+	byName := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		byName[strings.ToLower(l)] = true
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(l string) {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	// 1. Exact.
+	if byName[term] {
+		add(term)
+		return out
+	}
+	// 2. Synonyms.
+	for _, s := range o.Expand(term)[1:] {
+		if byName[s] {
+			add(s)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	// 3. Stem equivalence.
+	st := Stem(term)
+	var stemmed []string
+	for l := range byName {
+		if Stem(l) == st {
+			stemmed = append(stemmed, l)
+		}
+	}
+	sort.Strings(stemmed)
+	for _, l := range stemmed {
+		add(l)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package ontology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExpand(t *testing.T) {
+	o := New()
+	got := o.Expand("writer")
+	if got[0] != "writer" {
+		t.Errorf("Expand leads with the term itself, got %v", got)
+	}
+	found := false
+	for _, s := range got {
+		if s == "author" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("writer should expand to author: %v", got)
+	}
+	if got := o.Expand("zyzzyva"); len(got) != 1 {
+		t.Errorf("unknown term should expand to itself only: %v", got)
+	}
+}
+
+func TestExpandSymmetric(t *testing.T) {
+	o := New()
+	has := func(term, syn string) bool {
+		for _, s := range o.Expand(term) {
+			if s == syn {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("movie", "film") || !has("film", "movie") {
+		t.Error("synonymy should be symmetric")
+	}
+}
+
+func TestAddGroup(t *testing.T) {
+	o := NewEmpty()
+	o.AddGroup("boss", "manager", "supervisor")
+	got := o.Expand("manager")
+	want := []string{"manager", "boss", "supervisor"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Expand(manager) = %v, want %v", got, want)
+	}
+}
+
+func TestMatchLabelsExactWinsOverSynonym(t *testing.T) {
+	o := New()
+	labels := []string{"author", "writer", "title"}
+	if got := o.MatchLabels("author", labels); len(got) != 1 || got[0] != "author" {
+		t.Errorf("exact match = %v, want [author]", got)
+	}
+}
+
+func TestMatchLabelsSynonym(t *testing.T) {
+	o := New()
+	labels := []string{"author", "title", "year"}
+	if got := o.MatchLabels("writer", labels); len(got) != 1 || got[0] != "author" {
+		t.Errorf("synonym match = %v, want [author]", got)
+	}
+	if got := o.MatchLabels("film", []string{"movie", "director"}); len(got) != 1 || got[0] != "movie" {
+		t.Errorf("film = %v, want [movie]", got)
+	}
+}
+
+func TestMatchLabelsStem(t *testing.T) {
+	o := NewEmpty()
+	if got := o.MatchLabels("publishers", []string{"publisher"}); len(got) != 1 || got[0] != "publisher" {
+		t.Errorf("stem match = %v, want [publisher]", got)
+	}
+}
+
+func TestMatchLabelsNone(t *testing.T) {
+	o := New()
+	if got := o.MatchLabels("spaceship", []string{"book", "author"}); len(got) != 0 {
+		t.Errorf("no match expected, got %v", got)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"publishers": "publish", "publisher": "publish",
+		"directing": "direct", "papers": "paper", "title": "title",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

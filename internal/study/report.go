@@ -1,0 +1,182 @@
+package study
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nalix/internal/metrics"
+	"nalix/internal/xmp"
+)
+
+// TaskEase is one bar group of Fig. 11: ease-of-use per task.
+type TaskEase struct {
+	Task      string
+	MeanTime  float64
+	SETime    float64 // standard error of the mean
+	MeanIter  float64
+	SEIter    float64
+	MaxIter   int
+	MinIter   int
+	ZeroCount int // participants who needed no iteration
+}
+
+// Fig11 aggregates the NaLIX block into the paper's Fig. 11 series.
+func (r *Results) Fig11() []TaskEase {
+	out := make([]TaskEase, 0, 9)
+	for _, task := range xmp.Tasks() {
+		var times, iters []float64
+		maxIter, minIter, zero := 0, 1<<30, 0
+		for _, t := range r.NaLIX {
+			if t.Task != task.ID {
+				continue
+			}
+			times = append(times, t.TimeSec)
+			iters = append(iters, float64(t.Iterations))
+			if t.Iterations > maxIter {
+				maxIter = t.Iterations
+			}
+			if t.Iterations < minIter {
+				minIter = t.Iterations
+			}
+			if t.Iterations == 0 {
+				zero++
+			}
+		}
+		if len(times) == 0 {
+			continue
+		}
+		out = append(out, TaskEase{
+			Task:      task.ID,
+			MeanTime:  metrics.Mean(times),
+			SETime:    stderr(times),
+			MeanIter:  metrics.Mean(iters),
+			SEIter:    stderr(iters),
+			MaxIter:   maxIter,
+			MinIter:   minIter,
+			ZeroCount: zero,
+		})
+	}
+	return out
+}
+
+// TaskQuality is one bar group of Fig. 12: search quality per task for
+// both interfaces.
+type TaskQuality struct {
+	Task                            string
+	NaLIXPrecision, NaLIXRecall     float64
+	KeywordPrecision, KeywordRecall float64
+}
+
+// Fig12 aggregates both blocks into the paper's Fig. 12 series.
+func (r *Results) Fig12() []TaskQuality {
+	out := make([]TaskQuality, 0, 9)
+	for _, task := range xmp.Tasks() {
+		var np, nr, kp, kr []float64
+		for _, t := range r.NaLIX {
+			if t.Task == task.ID {
+				np = append(np, t.PR.Precision)
+				nr = append(nr, t.PR.Recall)
+			}
+		}
+		for _, t := range r.Keyword {
+			if t.Task == task.ID {
+				kp = append(kp, t.PR.Precision)
+				kr = append(kr, t.PR.Recall)
+			}
+		}
+		out = append(out, TaskQuality{
+			Task:             task.ID,
+			NaLIXPrecision:   metrics.Mean(np),
+			NaLIXRecall:      metrics.Mean(nr),
+			KeywordPrecision: metrics.Mean(kp),
+			KeywordRecall:    metrics.Mean(kr),
+		})
+	}
+	return out
+}
+
+// Table7Row is one row of the paper's Table 7.
+type Table7Row struct {
+	Label     string
+	Precision float64
+	Recall    float64
+	Queries   int
+}
+
+// Table7 partitions the NaLIX trials like the paper's Table 7: all
+// queries, the correctly specified ones, and those also parsed correctly.
+func (r *Results) Table7() []Table7Row {
+	rows := []Table7Row{
+		{Label: "all queries"},
+		{Label: "all queries specified correctly"},
+		{Label: "all queries specified and parsed correctly"},
+	}
+	var p0, r0, p1, r1, p2, r2 []float64
+	for _, t := range r.NaLIX {
+		p0 = append(p0, t.PR.Precision)
+		r0 = append(r0, t.PR.Recall)
+		if t.SpecifiedCorrectly {
+			p1 = append(p1, t.PR.Precision)
+			r1 = append(r1, t.PR.Recall)
+			if t.ParsedCorrectly {
+				p2 = append(p2, t.PR.Precision)
+				r2 = append(r2, t.PR.Recall)
+			}
+		}
+	}
+	rows[0].Precision, rows[0].Recall, rows[0].Queries = metrics.Mean(p0), metrics.Mean(r0), len(p0)
+	rows[1].Precision, rows[1].Recall, rows[1].Queries = metrics.Mean(p1), metrics.Mean(r1), len(p1)
+	rows[2].Precision, rows[2].Recall, rows[2].Queries = metrics.Mean(p2), metrics.Mean(r2), len(p2)
+	return rows
+}
+
+func stderr(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	m := metrics.Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+}
+
+// FormatFig11 renders Fig. 11 as a text table.
+func FormatFig11(rows []TaskEase) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11 — ease of use per search task (NaLIX block)\n")
+	sb.WriteString("task   avg time (s)  ±SE    avg iters  ±SE    min..max  zero-iter users\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-5s  %9.1f  %5.1f   %8.2f  %5.2f   %d..%d      %d\n",
+			r.Task, r.MeanTime, r.SETime, r.MeanIter, r.SEIter, r.MinIter, r.MaxIter, r.ZeroCount)
+	}
+	return sb.String()
+}
+
+// FormatFig12 renders Fig. 12 as a text table.
+func FormatFig12(rows []TaskQuality) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12 — search quality per task: NaLIX vs keyword search\n")
+	sb.WriteString("task   NaLIX P   NaLIX R   keyword P  keyword R\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-5s  %6.1f%%   %6.1f%%   %8.1f%%  %8.1f%%\n",
+			r.Task, 100*r.NaLIXPrecision, 100*r.NaLIXRecall,
+			100*r.KeywordPrecision, 100*r.KeywordRecall)
+	}
+	return sb.String()
+}
+
+// FormatTable7 renders Table 7 as text.
+func FormatTable7(rows []Table7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 7 — average precision and recall\n")
+	sb.WriteString(fmt.Sprintf("%-45s %10s %10s %8s\n", "", "avg prec", "avg recall", "queries"))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-45s %9.1f%% %9.1f%% %8d\n",
+			r.Label, 100*r.Precision, 100*r.Recall, r.Queries)
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package study
+
+import (
+	"testing"
+
+	"nalix/internal/xmp"
+)
+
+// TestSeedRobustness guards the calibration against seed luck: with other
+// seeds and a smaller population, the headline shapes must still hold
+// (NaLIX beats keyword overall, precision improves monotonically across
+// the Table-7 rows, a majority of queries are specified correctly).
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed study run")
+	}
+	for _, seed := range []int64{7, 41} {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Participants = 8
+		cfg.Corpus = corpusFor(t)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rows := res.Table7()
+		all, spec, parsed := rows[0], rows[1], rows[2]
+		if all.Queries != 8*9 {
+			t.Errorf("seed %d: trials = %d", seed, all.Queries)
+		}
+		if spec.Queries*3 < all.Queries*2 {
+			t.Errorf("seed %d: only %d/%d specified correctly", seed, spec.Queries, all.Queries)
+		}
+		if all.Precision > spec.Precision || spec.Precision > parsed.Precision {
+			t.Errorf("seed %d: precision not monotone: %.2f %.2f %.2f",
+				seed, all.Precision, spec.Precision, parsed.Precision)
+		}
+		// NaLIX still beats keyword on overall harmonic mean.
+		var nh, kh float64
+		for _, q := range res.Fig12() {
+			nh += harmonic(q.NaLIXPrecision, q.NaLIXRecall)
+			kh += harmonic(q.KeywordPrecision, q.KeywordRecall)
+		}
+		if nh <= kh {
+			t.Errorf("seed %d: NaLIX (%.2f) did not beat keyword (%.2f)", seed, nh, kh)
+		}
+	}
+}
+
+// TestChainAlwaysEndsValid checks the chain construction invariant: every
+// chain ends with a formulation the system accepts (Good, MisSpecified or
+// ParserTrap — never Invalid).
+func TestChainAlwaysEndsValid(t *testing.T) {
+	res := fullRun(t)
+	for _, tr := range res.NaLIX {
+		if tr.TimeSec >= res.Config.TimeLimitSec {
+			continue // timed out mid-chain, acceptable
+		}
+		if tr.FinalPhrasing == "" {
+			t.Errorf("p%d %s: no accepted formulation and no timeout (%.1fs, %d iters)",
+				tr.Participant, tr.Task, tr.TimeSec, tr.Iterations)
+		}
+	}
+}
+
+// TestIterationsMatchRejections: the iteration count equals the number of
+// rejected formulations before the accepted one, and each rejected one
+// came from the task's Invalid pool.
+func TestIterationsMatchRejections(t *testing.T) {
+	res := fullRun(t)
+	for _, tr := range res.NaLIX {
+		task := xmp.TaskByID(tr.Task)
+		if tr.Iterations > len(task.Invalid()) {
+			t.Errorf("p%d %s: %d iterations but only %d invalid phrasings",
+				tr.Participant, tr.Task, tr.Iterations, len(task.Invalid()))
+		}
+	}
+}
+
+// TestTimesWithinLimit: the 5-minute cap is honored.
+func TestTimesWithinLimit(t *testing.T) {
+	res := fullRun(t)
+	for _, tr := range res.NaLIX {
+		if tr.TimeSec > res.Config.TimeLimitSec+1e-9 {
+			t.Errorf("p%d %s: time %.1f exceeds the cap", tr.Participant, tr.Task, tr.TimeSec)
+		}
+		if tr.TimeSec < 20 {
+			t.Errorf("p%d %s: implausibly fast trial (%.1fs)", tr.Participant, tr.Task, tr.TimeSec)
+		}
+	}
+}
+
+// TestKeywordBlockScored: every keyword trial carries a score and a
+// plausible time.
+func TestKeywordBlockScored(t *testing.T) {
+	res := fullRun(t)
+	for _, tr := range res.Keyword {
+		if tr.PR.Precision < 0 || tr.PR.Precision > 1 || tr.PR.Recall < 0 || tr.PR.Recall > 1 {
+			t.Errorf("p%d %s: PR out of range: %+v", tr.Participant, tr.Task, tr.PR)
+		}
+		if tr.TimeSec <= 0 {
+			t.Errorf("p%d %s: nonpositive time", tr.Participant, tr.Task)
+		}
+	}
+}

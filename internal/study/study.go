@@ -1,0 +1,246 @@
+// Package study reproduces the paper's user study (Sec. 5): 18
+// participants, two interface blocks (NaLIX and keyword search), nine XMP
+// search tasks, a 5-minute limit per task and a pass criterion of harmonic
+// mean > 0.5. Every query a simulated participant submits is really
+// parsed, validated, translated, executed and scored against the task's
+// gold standard — precision, recall, iteration counts and acceptance all
+// emerge from the actual pipeline. The only modeled quantity is wall-clock
+// time (reading, typing, feedback-reading and browsing rates per
+// participant), since the original measured humans.
+package study
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nalix/internal/dataset"
+	"nalix/internal/metrics"
+	"nalix/internal/xmldb"
+	"nalix/internal/xmp"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Participants is the study population size (paper: 18).
+	Participants int
+	// Seed drives the deterministic participant behaviour.
+	Seed int64
+	// Scale is the dataset scale factor (1 = the paper's corpus size).
+	Scale int
+	// TimeLimitSec caps each task (paper: 300 s).
+	TimeLimitSec float64
+	// PassThreshold is the harmonic-mean acceptance bar (paper: 0.5).
+	PassThreshold float64
+	// Corpus overrides the generated corpus when non-nil (used by tests
+	// and benchmarks to share one document).
+	Corpus *xmldb.Document
+}
+
+// DefaultConfig returns the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Participants:  18,
+		Seed:          2006,
+		Scale:         1,
+		TimeLimitSec:  300,
+		PassThreshold: 0.5,
+	}
+}
+
+// persona holds one simulated participant's behavioural parameters,
+// drawn deterministically from the study seed.
+type persona struct {
+	id int
+	// typingCPS is typing speed in characters per second.
+	typingCPS float64
+	// readingCPS is reading speed in characters per second.
+	readingCPS float64
+	// struggle scales how often the participant's first formulations
+	// fall outside the system's grammar (multiplies task difficulty).
+	struggle float64
+	// careless is the probability scale of formulating a query that
+	// deviates from the task description.
+	careless float64
+	// browseSec is time spent inspecting results before deciding.
+	browseSec float64
+}
+
+func newPersona(id int, rng *rand.Rand) persona {
+	return persona{
+		id:         id,
+		typingCPS:  2.2 + rng.Float64()*2.3,
+		readingCPS: 25 + rng.Float64()*20,
+		struggle:   0.4 + rng.Float64()*1.2,
+		careless:   0.5 + rng.Float64()*1.2,
+		browseSec:  14 + rng.Float64()*10,
+	}
+}
+
+// NLTrial is one participant×task outcome in the NaLIX block.
+type NLTrial struct {
+	Participant int
+	Task        string
+	// Iterations counts rejected formulations before the accepted one.
+	Iterations int
+	// TimeSec is the modeled wall-clock time for the whole task.
+	TimeSec float64
+	// PR is the final query's retrieval quality.
+	PR metrics.PR
+	// SpecifiedCorrectly is true when the final formulation matched the
+	// task description (Good or ParserTrap phrasings).
+	SpecifiedCorrectly bool
+	// ParsedCorrectly is true when the dependency parse was also right
+	// (Good phrasings).
+	ParsedCorrectly bool
+	// FinalPhrasing is the accepted formulation.
+	FinalPhrasing string
+	// XQuery is its translation.
+	XQuery string
+}
+
+// KWTrial is one participant×task outcome in the keyword block.
+type KWTrial struct {
+	Participant int
+	Task        string
+	TimeSec     float64
+	PR          metrics.PR
+}
+
+// Results holds a full study run.
+type Results struct {
+	Config  Config
+	NaLIX   []NLTrial
+	Keyword []KWTrial
+}
+
+// Run executes the study.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Participants <= 0 {
+		return nil, fmt.Errorf("study: participants must be positive")
+	}
+	corpus := cfg.Corpus
+	if corpus == nil {
+		corpus = dataset.Generate(cfg.Scale)
+	}
+	runner := xmp.NewRunner(corpus)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tasks := xmp.Tasks()
+	res := &Results{Config: cfg}
+
+	for p := 0; p < cfg.Participants; p++ {
+		per := newPersona(p, rng)
+		// Per-participant task order is randomized (Latin-square in the
+		// paper); it does not change aggregates but keeps the RNG
+		// consumption realistic.
+		order := rng.Perm(len(tasks))
+		for _, ti := range order {
+			task := tasks[ti]
+			nl, err := runNLTrial(runner, task, per, rng, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.NaLIX = append(res.NaLIX, nl)
+			kw, err := runKWTrial(runner, task, per, rng)
+			if err != nil {
+				return nil, err
+			}
+			res.Keyword = append(res.Keyword, kw)
+		}
+	}
+	return res, nil
+}
+
+// chainFor assembles the formulation chain a participant walks for one
+// task: zero or more Invalid formulations (each drawing feedback), ending
+// in a final Good / ParserTrap / MisSpecified formulation.
+func chainFor(task *xmp.Task, per persona, rng *rand.Rand) []xmp.Phrasing {
+	var chain []xmp.Phrasing
+	pool := task.Invalid()
+	// Struggle compresses toward 1 so hard tasks stay hard for everyone
+	// (the paper's worst task averages 3.8 iterations).
+	p := task.Difficulty * (0.5 + 0.5*per.struggle)
+	if p > 0.93 {
+		p = 0.93
+	}
+	for i := 0; i < len(pool); i++ {
+		if rng.Float64() >= p {
+			break
+		}
+		chain = append(chain, pool[i])
+	}
+	// Final formulation.
+	mis := task.MisSpecified()
+	traps := task.ParserTraps()
+	switch {
+	case len(mis) > 0 && rng.Float64() < 0.25*per.careless:
+		chain = append(chain, mis[rng.Intn(len(mis))])
+	case len(traps) > 0 && rng.Float64() < 0.18:
+		chain = append(chain, traps[rng.Intn(len(traps))])
+	default:
+		good := task.Good()
+		chain = append(chain, good[rng.Intn(len(good))])
+	}
+	return chain
+}
+
+func runNLTrial(runner *xmp.Runner, task *xmp.Task, per persona, rng *rand.Rand, cfg Config) (NLTrial, error) {
+	trial := NLTrial{Participant: per.id, Task: task.ID}
+	chain := chainFor(task, per, rng)
+
+	// Reading and understanding the task description, and mentally
+	// formulating the first query.
+	time := float64(len(task.Description))/per.readingCPS + 6 + rng.Float64()*4
+
+	for i, ph := range chain {
+		typed := float64(len(ph.Text))
+		if i > 0 {
+			// Reading the feedback message, rethinking, and editing the
+			// previous formulation rather than retyping it.
+			time += 5 + rng.Float64()*4
+			typed *= 0.4
+		}
+		time += typed / per.typingCPS
+		time += 0.5 // system round trip
+
+		out, err := runner.RunNL(task, ph.Text)
+		if err != nil {
+			return trial, err
+		}
+		if !out.Accepted {
+			trial.Iterations++
+			if time > cfg.TimeLimitSec {
+				// Time limit reached while still iterating: score what
+				// we have (an empty retrieval).
+				trial.TimeSec = cfg.TimeLimitSec
+				return trial, nil
+			}
+			continue
+		}
+		// Browsing the results and deciding.
+		time += per.browseSec + 3
+		trial.PR = out.PR
+		trial.FinalPhrasing = ph.Text
+		trial.XQuery = out.XQuery
+		trial.SpecifiedCorrectly = ph.Kind == xmp.Good || ph.Kind == xmp.ParserTrap
+		trial.ParsedCorrectly = ph.Kind == xmp.Good
+		break
+	}
+	if time > cfg.TimeLimitSec {
+		time = cfg.TimeLimitSec
+	}
+	trial.TimeSec = time
+	return trial, nil
+}
+
+func runKWTrial(runner *xmp.Runner, task *xmp.Task, per persona, rng *rand.Rand) (KWTrial, error) {
+	trial := KWTrial{Participant: per.id, Task: task.ID}
+	kq := task.Keyword[rng.Intn(len(task.Keyword))]
+	pr, err := runner.RunKeyword(task, kq)
+	if err != nil {
+		return trial, err
+	}
+	trial.PR = pr
+	trial.TimeSec = float64(len(task.Description))/per.readingCPS + 6 +
+		float64(len(kq))/per.typingCPS + per.browseSec + 3
+	return trial, nil
+}

@@ -1,0 +1,234 @@
+package study
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nalix/internal/dataset"
+	"nalix/internal/xmldb"
+)
+
+var (
+	resOnce sync.Once
+	result  *Results
+	resErr  error
+	corpus  *xmldb.Document
+)
+
+// fullRun executes the default study once and shares it across tests (a
+// run takes tens of seconds on the paper-scale corpus).
+func fullRun(t *testing.T) *Results {
+	t.Helper()
+	resOnce.Do(func() {
+		corpus = dataset.Generate(1)
+		cfg := DefaultConfig()
+		cfg.Corpus = corpus
+		result, resErr = Run(cfg)
+	})
+	if resErr != nil {
+		t.Fatal(resErr)
+	}
+	return result
+}
+
+func TestPopulationSize(t *testing.T) {
+	r := fullRun(t)
+	if len(r.NaLIX) != 162 {
+		t.Errorf("NaLIX trials = %d, want 162 (18 participants × 9 tasks)", len(r.NaLIX))
+	}
+	if len(r.Keyword) != 162 {
+		t.Errorf("keyword trials = %d, want 162", len(r.Keyword))
+	}
+}
+
+// TestFig11Shape pins the paper's ease-of-use claims: a time floor around
+// 50 seconds, typical tasks under 90 seconds, average iterations below 2
+// for all but the hardest task (whose average stays under ~4), roughly
+// half the tasks with no iterations for any participant, and at least one
+// zero-iteration participant on every task.
+func TestFig11Shape(t *testing.T) {
+	rows := fullRun(t).Fig11()
+	if len(rows) != 9 {
+		t.Fatalf("Fig11 rows = %d, want 9", len(rows))
+	}
+	allZeroTasks := 0
+	over90 := 0
+	worstIter := 0.0
+	for _, row := range rows {
+		if row.MeanTime < 35 || row.MeanTime > 160 {
+			t.Errorf("%s: mean time %.1fs outside the plausible envelope", row.Task, row.MeanTime)
+		}
+		if row.MeanTime > 90 {
+			over90++
+		}
+		if row.MeanIter > worstIter {
+			worstIter = row.MeanIter
+		}
+		if row.ZeroCount == len(fullRun(t).NaLIX)/9 {
+			allZeroTasks++
+		}
+		if row.ZeroCount == 0 {
+			t.Errorf("%s: no participant succeeded on the first attempt", row.Task)
+		}
+		if row.MinIter != 0 {
+			t.Errorf("%s: min iterations = %d, want 0", row.Task, row.MinIter)
+		}
+	}
+	if over90 > 2 {
+		t.Errorf("%d tasks above 90 s; the paper says times are usually below 90 s", over90)
+	}
+	if allZeroTasks < 3 {
+		t.Errorf("only %d tasks had zero iterations for everyone; the paper reports about half", allZeroTasks)
+	}
+	if worstIter < 1.5 || worstIter > 4.5 {
+		t.Errorf("worst-task mean iterations = %.2f, paper reports 3.8", worstIter)
+	}
+	// Every task's average must stay under the paper's "less than 2 on
+	// average" except the hardest.
+	above2 := 0
+	for _, row := range rows {
+		if row.MeanIter >= 2 {
+			above2++
+		}
+	}
+	if above2 > 1 {
+		t.Errorf("%d tasks average >= 2 iterations, want at most 1", above2)
+	}
+}
+
+// TestFig12Shape pins the paper's search-quality claims: NaLIX beats
+// keyword search on every task (harmonic mean), keyword collapses on the
+// aggregation/sorting tasks (Q7, Q10), and NaLIX averages land near the
+// paper's 83.0% precision / 90.1% recall.
+func TestFig12Shape(t *testing.T) {
+	rows := fullRun(t).Fig12()
+	var sumP, sumR float64
+	for _, row := range rows {
+		nh := harmonic(row.NaLIXPrecision, row.NaLIXRecall)
+		kh := harmonic(row.KeywordPrecision, row.KeywordRecall)
+		if nh <= kh {
+			t.Errorf("%s: NaLIX (%.2f) does not beat keyword (%.2f)", row.Task, nh, kh)
+		}
+		sumP += row.NaLIXPrecision
+		sumR += row.NaLIXRecall
+		if row.Task == "Q7" || row.Task == "Q10" {
+			if kh > 0.45 {
+				t.Errorf("%s: keyword %.2f should collapse on aggregation/sorting", row.Task, kh)
+			}
+		}
+	}
+	avgP, avgR := sumP/9, sumR/9
+	if avgP < 0.75 || avgP > 0.95 {
+		t.Errorf("NaLIX avg precision %.3f outside the paper band (0.83)", avgP)
+	}
+	if avgR < 0.82 || avgR > 0.99 {
+		t.Errorf("NaLIX avg recall %.3f outside the paper band (0.901)", avgR)
+	}
+}
+
+// TestTable7Shape pins the attribution table: the population splits near
+// the paper's 162/120/112, precision improves monotonically across the
+// rows, and filtering to correctly-specified-and-parsed queries removes
+// most of the error (the paper reports ≈75% error reduction).
+func TestTable7Shape(t *testing.T) {
+	rows := fullRun(t).Table7()
+	if len(rows) != 3 {
+		t.Fatalf("Table7 rows = %d", len(rows))
+	}
+	all, spec, parsed := rows[0], rows[1], rows[2]
+	if all.Queries != 162 {
+		t.Errorf("all queries = %d, want 162", all.Queries)
+	}
+	if spec.Queries < 105 || spec.Queries > 135 {
+		t.Errorf("specified-correctly = %d, paper reports 120", spec.Queries)
+	}
+	if parsed.Queries < 95 || parsed.Queries > 125 {
+		t.Errorf("parsed-correctly = %d, paper reports 112", parsed.Queries)
+	}
+	if !(all.Precision < spec.Precision && spec.Precision <= parsed.Precision) {
+		t.Errorf("precision not monotone: %.3f, %.3f, %.3f",
+			all.Precision, spec.Precision, parsed.Precision)
+	}
+	if all.Recall >= parsed.Recall {
+		t.Errorf("recall not improving: %.3f vs %.3f", all.Recall, parsed.Recall)
+	}
+	if all.Precision < 0.75 || all.Precision > 0.92 {
+		t.Errorf("all-queries precision %.3f outside the paper band (0.83)", all.Precision)
+	}
+	if all.Recall < 0.85 || all.Recall > 0.97 {
+		t.Errorf("all-queries recall %.3f outside the paper band (0.901)", all.Recall)
+	}
+	if parsed.Precision < 0.93 {
+		t.Errorf("parsed-correctly precision %.3f, paper reports 0.951", parsed.Precision)
+	}
+	if parsed.Recall < 0.93 {
+		t.Errorf("parsed-correctly recall %.3f, paper reports 0.976", parsed.Recall)
+	}
+	// Error-rate reduction from all → parsed (paper: roughly 75%).
+	pErrDrop := 1 - (1-parsed.Precision)/(1-all.Precision+1e-12)
+	rErrDrop := 1 - (1-parsed.Recall)/(1-all.Recall+1e-12)
+	if pErrDrop < 0.6 || rErrDrop < 0.6 {
+		t.Errorf("error reduction P=%.2f R=%.2f, want >= 0.6 (paper ≈0.75)", pErrDrop, rErrDrop)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Participants = 3
+	cfg.Corpus = corpusFor(t)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.NaLIX) != len(b.NaLIX) {
+		t.Fatal("trial counts differ")
+	}
+	for i := range a.NaLIX {
+		x, y := a.NaLIX[i], b.NaLIX[i]
+		if x != y {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func corpusFor(t *testing.T) *xmldb.Document {
+	t.Helper()
+	fullRun(t) // ensures corpus is built
+	return corpus
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Participants = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for zero participants")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	r := fullRun(t)
+	f11 := FormatFig11(r.Fig11())
+	if !strings.Contains(f11, "Q10") || !strings.Contains(f11, "avg iters") {
+		t.Errorf("Fig11 format:\n%s", f11)
+	}
+	f12 := FormatFig12(r.Fig12())
+	if !strings.Contains(f12, "keyword P") {
+		t.Errorf("Fig12 format:\n%s", f12)
+	}
+	t7 := FormatTable7(r.Table7())
+	if !strings.Contains(t7, "all queries specified and parsed correctly") {
+		t.Errorf("Table7 format:\n%s", t7)
+	}
+}
+
+func harmonic(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,211 @@
+package xmldb
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and builds an indexed Document with
+// the given logical name. Whitespace-only text between elements is
+// discarded; attributes become AttributeNode children; namespaces are
+// flattened to local names (the NaLIX evaluation corpus is namespace-free).
+func Parse(name string, r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	root := &Node{Kind: DocumentNode}
+	stack := []*Node{root}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldb: parse %s: %w", name, err)
+		}
+		top := stack[len(stack)-1]
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Node{Kind: ElementNode, Label: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				el.Children = append(el.Children, &Node{
+					Kind:  AttributeNode,
+					Label: a.Name.Local,
+					Data:  a.Value,
+				})
+			}
+			top.Children = append(top.Children, el)
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 1 {
+				return nil, fmt.Errorf("xmldb: parse %s: unbalanced end element %s", name, t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			top.Children = append(top.Children, &Node{Kind: TextNode, Data: s})
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("xmldb: parse %s: unexpected end of input inside element <%s>", name, stack[len(stack)-1].Label)
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("xmldb: parse %s: empty document", name)
+	}
+	doc := &Document{Name: name, Root: root}
+	doc.finalize()
+	return doc, nil
+}
+
+// ParseString is a convenience wrapper around Parse for in-memory XML.
+func ParseString(name, s string) (*Document, error) {
+	return Parse(name, strings.NewReader(s))
+}
+
+// Builder constructs a Document programmatically. It is used by the
+// synthetic dataset generators, which would otherwise have to print and
+// re-parse megabytes of XML.
+type Builder struct {
+	doc   *Document
+	stack []*Node
+}
+
+// NewBuilder returns a Builder for a document with the given logical name.
+func NewBuilder(name string) *Builder {
+	root := &Node{Kind: DocumentNode}
+	return &Builder{
+		doc:   &Document{Name: name, Root: root},
+		stack: []*Node{root},
+	}
+}
+
+// Open starts a new element with the given label (and optional attribute
+// name/value pairs) and makes it the current element.
+func (b *Builder) Open(label string, attrs ...string) *Builder {
+	el := &Node{Kind: ElementNode, Label: label}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		el.Children = append(el.Children, &Node{
+			Kind:  AttributeNode,
+			Label: attrs[i],
+			Data:  attrs[i+1],
+		})
+	}
+	top := b.stack[len(b.stack)-1]
+	top.Children = append(top.Children, el)
+	b.stack = append(b.stack, el)
+	return b
+}
+
+// Text appends a text child to the current element.
+func (b *Builder) Text(s string) *Builder {
+	top := b.stack[len(b.stack)-1]
+	top.Children = append(top.Children, &Node{Kind: TextNode, Data: s})
+	return b
+}
+
+// Leaf appends <label>text</label> under the current element.
+func (b *Builder) Leaf(label, text string) *Builder {
+	return b.Open(label).Text(text).Close()
+}
+
+// Close ends the current element.
+func (b *Builder) Close() *Builder {
+	if len(b.stack) > 1 {
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	return b
+}
+
+// Document finishes construction, builds the indexes and returns the
+// document. The Builder must not be used afterwards.
+func (b *Builder) Document() *Document {
+	b.doc.finalize()
+	return b.doc
+}
+
+// Serialize writes the subtree rooted at n as XML. Text is escaped;
+// attribute children are emitted as attributes.
+func Serialize(w io.Writer, n *Node) error {
+	var write func(n *Node) error
+	write = func(n *Node) error {
+		switch n.Kind {
+		case DocumentNode:
+			for _, c := range n.Children {
+				if err := write(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		case TextNode:
+			return escapeTo(w, n.Data)
+		case AttributeNode:
+			// A bare attribute serializes like an element so results
+			// that project attributes remain well-formed XML.
+			if _, err := fmt.Fprintf(w, "<%s>", n.Label); err != nil {
+				return err
+			}
+			if err := escapeTo(w, n.Data); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "</%s>", n.Label)
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "<%s", n.Label); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if c.Kind == AttributeNode {
+				if _, err := fmt.Fprintf(w, " %s=\"", c.Label); err != nil {
+					return err
+				}
+				if err := escapeTo(w, c.Data); err != nil {
+					return err
+				}
+				if _, err := io.WriteString(w, "\""); err != nil {
+					return err
+				}
+			}
+		}
+		hasContent := false
+		for _, c := range n.Children {
+			if c.Kind != AttributeNode {
+				hasContent = true
+			}
+		}
+		if !hasContent {
+			_, err := io.WriteString(w, "/>")
+			return err
+		}
+		if _, err := io.WriteString(w, ">"); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if c.Kind == AttributeNode {
+				continue
+			}
+			if err := write(c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "</%s>", n.Label)
+		return err
+	}
+	return write(n)
+}
+
+// SerializeString returns the subtree rooted at n as an XML string.
+func SerializeString(n *Node) string {
+	var sb strings.Builder
+	_ = Serialize(&sb, n)
+	return sb.String()
+}
+
+func escapeTo(w io.Writer, s string) error {
+	return xml.EscapeText(w, []byte(s))
+}

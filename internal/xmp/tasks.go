@@ -1,0 +1,331 @@
+// Package xmp defines the nine search tasks of the paper's user study
+// (Sec. 5.1): the "XMP" use-case queries from the W3C XQuery Use Cases,
+// adapted to the DBLP subset exactly as the paper describes (price is
+// replaced by the year attribute; Q2/Q5/Q12 and the first half of Q11 are
+// excluded, leaving Q1, Q3, Q4, Q6, Q7, Q8, Q9, Q10, Q11).
+//
+// Each task carries its elaborated description, the gold-standard
+// schema-aware XQuery that defines correct results, keyword-query
+// formulations for the baseline block, and a pool of natural language
+// phrasings labeled by how a participant attempt plays out: Good
+// (correctly specified, correctly parsed), MisSpecified (deviates from the
+// task: the paper's "failed to write a natural language query that matched
+// the exact task description"), ParserTrap (correctly specified but the
+// dependency parser mis-attaches it: the paper's Minipar conjunction
+// failure), and Invalid (rejected by validation, driving an iteration of
+// the feedback loop).
+package xmp
+
+// PhrasingKind labels how a phrasing behaves in the pipeline.
+type PhrasingKind uint8
+
+// The phrasing kinds.
+const (
+	// Good: correctly specified and correctly parsed; near-perfect
+	// retrieval expected.
+	Good PhrasingKind = iota
+	// MisSpecified: accepted by the system but deviating from the task
+	// description (missing or extra projections, wrong constant).
+	MisSpecified
+	// ParserTrap: matches the task description, but the parser's
+	// documented conjunct-scope limitation degrades the translation.
+	ParserTrap
+	// Invalid: rejected by validation with feedback; the participant
+	// reformulates (one iteration).
+	Invalid
+)
+
+// String names the kind.
+func (k PhrasingKind) String() string {
+	switch k {
+	case Good:
+		return "good"
+	case MisSpecified:
+		return "mis-specified"
+	case ParserTrap:
+		return "parser-trap"
+	case Invalid:
+		return "invalid"
+	default:
+		return "bad-kind"
+	}
+}
+
+// Phrasing is one natural language formulation of a task.
+type Phrasing struct {
+	Text string
+	Kind PhrasingKind
+}
+
+// Task is one search task of the study.
+type Task struct {
+	// ID is the XMP query number ("Q1", "Q3", ...).
+	ID string
+	// Description is the elaborated task statement shown to
+	// participants.
+	Description string
+	// Gold is the schema-aware XQuery defining the correct results.
+	Gold string
+	// RequiresOrder marks tasks whose results must be sorted (Q7); the
+	// study penalizes unsorted results only for these.
+	RequiresOrder bool
+	// OrderLabel is the label whose values must appear sorted.
+	OrderLabel string
+	// Keyword holds the keyword-interface formulations participants
+	// type in the baseline block.
+	Keyword []string
+	// Phrasings is the pool of NL formulations.
+	Phrasings []Phrasing
+	// Difficulty in [0,1] scales how often participants need feedback
+	// iterations before producing an acceptable phrasing; the paper's
+	// Fig. 11 shows roughly half the tasks at zero iterations and one
+	// task averaging 3.8.
+	Difficulty float64
+}
+
+// GoodPhrasings returns the phrasings of one kind.
+func (t *Task) byKind(k PhrasingKind) []Phrasing {
+	var out []Phrasing
+	for _, p := range t.Phrasings {
+		if p.Kind == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Pick helpers used by the study simulator.
+func (t *Task) Good() []Phrasing         { return t.byKind(Good) }
+func (t *Task) MisSpecified() []Phrasing { return t.byKind(MisSpecified) }
+func (t *Task) ParserTraps() []Phrasing  { return t.byKind(ParserTrap) }
+func (t *Task) Invalid() []Phrasing      { return t.byKind(Invalid) }
+
+// Tasks returns the nine study tasks in the paper's order.
+func Tasks() []*Task {
+	return []*Task{q1(), q3(), q4(), q6(), q7(), q8(), q9(), q10(), q11()}
+}
+
+// TaskByID returns the task with the given ID, or nil.
+func TaskByID(id string) *Task {
+	for _, t := range Tasks() {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+func q1() *Task {
+	return &Task{
+		ID:          "Q1",
+		Description: `List books published by Addison-Wesley after 1991, including their year and title.`,
+		Gold: `for $b in doc("dblp.xml")//book
+		       where $b/publisher = "Addison-Wesley" and $b/year > 1991
+		       return ($b/year, $b/title)`,
+		Keyword: []string{
+			`book publisher "Addison-Wesley" year title`,
+			`"Addison-Wesley" 1991 book`,
+		},
+		Difficulty: 0.35,
+		Phrasings: []Phrasing{
+			{`Return the year and title of books published by "Addison-Wesley" after 1991.`, Good},
+			{`Find the year and title of every book published by "Addison-Wesley" after 1991.`, Good},
+			{`Show the year and title of books where the publisher is "Addison-Wesley" and the year is after 1991.`, Good},
+			{`Return the title of books published by "Addison-Wesley" after 1991.`, MisSpecified},
+			{`List the books published by "Addison-Wesley" after 1991.`, MisSpecified},
+			{`List books published by "Addison-Wesley" after 1991, including their year and title.`, ParserTrap},
+			{`Show me books from "Addison-Wesley" since 1991 with year and title.`, Invalid},
+			{`Which books has "Addison-Wesley" published subsequent to 1991?`, Invalid},
+		},
+	}
+}
+
+func q3() *Task {
+	return &Task{
+		ID:          "Q3",
+		Description: `For each book in the bibliography, list the title and authors.`,
+		Gold: `for $b in doc("dblp.xml")//book
+		       return ($b/title, $b/author)`,
+		Keyword: []string{
+			`book title author`,
+			`title authors book`,
+		},
+		Difficulty: 0,
+		Phrasings: []Phrasing{
+			{`List the title and authors of every book.`, Good},
+			{`Return the title and the authors of each book.`, Good},
+			{`Show the title and authors of all books.`, Good},
+			{`List the titles of every book.`, MisSpecified},
+			{`List the books with their title and authors.`, MisSpecified},
+			{`List all books, including their title and authors.`, ParserTrap},
+			{`List the title and authors of each book respectively.`, Invalid},
+		},
+	}
+}
+
+func q4() *Task {
+	return &Task{
+		ID:          "Q4",
+		Description: `For each author, list the author's name and the titles of all books by that author.`,
+		Gold: `for $b in doc("dblp.xml")//book, $a in $b/author
+		       return ($a, $b/title)`,
+		Keyword: []string{
+			`author book title`,
+			`author title`,
+		},
+		Difficulty: 0,
+		Phrasings: []Phrasing{
+			{`Return every author and the titles of books by the author.`, Good},
+			{`List each author and the titles of all books by the author.`, Good},
+			{`Return the author and title of every book.`, Good},
+			{`Return the authors of every book.`, MisSpecified},
+			{`List the books of every author.`, MisSpecified},
+			{`Return, per author, the titles of the author's books.`, Invalid},
+		},
+	}
+}
+
+func q6() *Task {
+	return &Task{
+		ID:          "Q6",
+		Description: `For each book that has at least one author, list the title and the authors.`,
+		Gold: `for $b in doc("dblp.xml")//book
+		       where count($b/author) > 0
+		       return ($b/title, $b/author)`,
+		Keyword: []string{
+			`book author title`,
+			`title of book with authors`,
+		},
+		Difficulty: 0.65,
+		Phrasings: []Phrasing{
+			{`List the title and authors of books where the number of authors is at least 1.`, Good},
+			{`List the title and authors of every book.`, Good},
+			{`Return the title and authors of books where the number of authors is more than 0.`, Good},
+			{`List the title of books where the number of authors is at least 1.`, MisSpecified},
+			{`List books where the number of authors is at least 1, including their title and authors.`, ParserTrap},
+			{`List the title and authors of books having at least one author apiece.`, Invalid},
+			{`List title and authors for books, but only when authors exist.`, Invalid},
+			{`Give the title and authors of books possessing any author whatsoever.`, Invalid},
+		},
+	}
+}
+
+func q7() *Task {
+	return &Task{
+		ID:          "Q7",
+		Description: `List the titles and years of all books published by Addison-Wesley after 1991, in alphabetic order.`,
+		Gold: `for $b in doc("dblp.xml")//book
+		       where $b/publisher = "Addison-Wesley" and $b/year > 1991
+		       order by $b/title
+		       return ($b/title, $b/year)`,
+		RequiresOrder: true,
+		OrderLabel:    "title",
+		Keyword: []string{
+			`book "Addison-Wesley" title year alphabetical`,
+			`"Addison-Wesley" title year sorted`,
+		},
+		Difficulty: 0.4,
+		Phrasings: []Phrasing{
+			{`List the title and year of books published by "Addison-Wesley" after 1991 in alphabetic order.`, Good},
+			{`Return the title and year of books published by "Addison-Wesley" after 1991, sorted by title.`, Good},
+			{`Return the title and year of books published by "Addison-Wesley" after 1991.`, MisSpecified},
+			{`Alphabetize the titles and years of "Addison-Wesley" books after 1991.`, Invalid},
+			{`List titles and years of "Addison-Wesley" books after 1991, A to Z.`, Invalid},
+		},
+	}
+}
+
+func q8() *Task {
+	return &Task{
+		ID:          "Q8",
+		Description: `Find books in which the author or editor mentions "Suciu", and list the title of each such book.`,
+		Gold: `for $b in doc("dblp.xml")//book
+		       where contains($b/author, "Suciu") or contains($b/editor, "Suciu")
+		       return $b/title`,
+		Keyword: []string{
+			`book "Suciu" title`,
+			`"Suciu" book`,
+		},
+		Difficulty: 0.35,
+		Phrasings: []Phrasing{
+			{`Find the titles of books whose author contains "Suciu".`, Good},
+			{`List the title of books where the author contains "Suciu".`, Good},
+			{`Find the titles of books that mention "Suciu".`, Good},
+			{`Find the books whose author contains "Suciu".`, MisSpecified},
+			{`Find titles of books by "Suciu" or edited by him.`, Invalid},
+			{`Which books involve "Suciu" either as author or as editor?`, Invalid},
+		},
+	}
+}
+
+func q9() *Task {
+	return &Task{
+		ID:          "Q9",
+		Description: `Find all titles that contain the word "XML", regardless of the kind of publication.`,
+		Gold: `for $t in doc("dblp.xml")//title
+		       where contains($t, "XML")
+		       return $t`,
+		Keyword: []string{
+			`XML`,
+			`"XML"`,
+		},
+		Difficulty: 0.05,
+		Phrasings: []Phrasing{
+			{`List all titles that contain the word "XML".`, Good},
+			{`Find every title that contains "XML".`, Good},
+			{`Return the titles that include the word "XML".`, Good},
+			{`List all the titles.`, MisSpecified},
+			{`Grep all titles for "XML".`, Invalid},
+		},
+	}
+}
+
+func q10() *Task {
+	return &Task{
+		ID:          "Q10",
+		Description: `For each author, find the earliest year in which the author published.`,
+		Gold: `for $a in doc("dblp.xml")//author
+		       let $ys := { for $a2 in doc("dblp.xml")//author, $y in doc("dblp.xml")//year
+		                    where $a2 = $a and mqf($a2, $y)
+		                    return $y }
+		       return ($a, min($ys))`,
+		Keyword: []string{
+			`author earliest year`,
+			`author first year published`,
+		},
+		Difficulty: 0.95,
+		Phrasings: []Phrasing{
+			{`Return every author and the earliest year for the author.`, Good},
+			{`Return the author and the earliest year for each author.`, Good},
+			{`Return the earliest year for each author.`, MisSpecified},
+			{`When did each author first publish?`, Invalid},
+			{`Return each author's debut year.`, Invalid},
+			{`For every author compute min year over publications.`, Invalid},
+			{`Return the earliest year per author.`, Invalid},
+			{`How soon did each author publish for the first time?`, Invalid},
+			{`Earliest year, grouped by author.`, Invalid},
+		},
+	}
+}
+
+func q11() *Task {
+	return &Task{
+		ID:          "Q11",
+		Description: `For each book that has an editor, list the title of the book and the affiliation of the editor.`,
+		Gold: `for $b in doc("dblp.xml")//book, $e in $b/editor
+		       return ($b/title, $e/affiliation)`,
+		Keyword: []string{
+			`book editor affiliation title`,
+			`editor affiliation book`,
+		},
+		Difficulty: 0.02,
+		Phrasings: []Phrasing{
+			{`Return the title and the affiliation of books with an editor.`, Good},
+			{`List the title and affiliation of every book with an editor.`, Good},
+			{`Return the titles of books with an editor.`, MisSpecified},
+			{`List the books with an editor.`, MisSpecified},
+			{`List books with an editor, including their title and the affiliation.`, ParserTrap},
+			{`Pair each edited book's title with its editor's affiliation.`, Invalid},
+		},
+	}
+}

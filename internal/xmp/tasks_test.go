@@ -1,0 +1,149 @@
+package xmp
+
+import (
+	"sync"
+	"testing"
+
+	"nalix/internal/dataset"
+	"nalix/internal/xmldb"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     *xmldb.Document
+)
+
+func studyCorpus() *xmldb.Document {
+	corpusOnce.Do(func() { corpus = dataset.Generate(1) })
+	return corpus
+}
+
+func TestNineTasks(t *testing.T) {
+	ts := Tasks()
+	if len(ts) != 9 {
+		t.Fatalf("tasks = %d, want 9", len(ts))
+	}
+	want := []string{"Q1", "Q3", "Q4", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11"}
+	for i, tk := range ts {
+		if tk.ID != want[i] {
+			t.Errorf("task[%d] = %s, want %s", i, tk.ID, want[i])
+		}
+		if TaskByID(tk.ID) != nil && TaskByID(tk.ID).ID != tk.ID {
+			t.Errorf("TaskByID(%s) mismatch", tk.ID)
+		}
+	}
+	if TaskByID("Q2") != nil {
+		t.Error("Q2 is excluded by the paper and must not exist")
+	}
+}
+
+func TestEachTaskHasMaterial(t *testing.T) {
+	for _, tk := range Tasks() {
+		if len(tk.Good()) == 0 {
+			t.Errorf("%s: no good phrasing", tk.ID)
+		}
+		if len(tk.Invalid()) == 0 {
+			t.Errorf("%s: no invalid phrasing (iteration driver)", tk.ID)
+		}
+		if len(tk.Keyword) == 0 {
+			t.Errorf("%s: no keyword formulation", tk.ID)
+		}
+		if tk.Gold == "" || tk.Description == "" {
+			t.Errorf("%s: missing gold or description", tk.ID)
+		}
+	}
+}
+
+func TestGoldQueriesEvaluate(t *testing.T) {
+	r := NewRunner(studyCorpus())
+	for _, tk := range Tasks() {
+		gold, err := r.GoldValues(tk)
+		if err != nil {
+			t.Fatalf("%s: %v", tk.ID, err)
+		}
+		if len(gold) == 0 {
+			t.Errorf("%s: gold result is empty — task has no answer in the corpus", tk.ID)
+		}
+	}
+}
+
+// TestPhrasingBehaviour verifies every phrasing plays the role its label
+// claims, against the real corpus: the study's population statistics rest
+// on these behaviours, so they are pinned here.
+func TestPhrasingBehaviour(t *testing.T) {
+	r := NewRunner(studyCorpus())
+	for _, tk := range Tasks() {
+		for _, p := range tk.Phrasings {
+			out, err := r.RunNL(tk, p.Text)
+			if err != nil {
+				t.Fatalf("%s %q: %v", tk.ID, p.Text, err)
+			}
+			h := out.PR.Harmonic()
+			switch p.Kind {
+			case Good:
+				if !out.Accepted {
+					t.Errorf("%s good phrasing rejected: %q → %v", tk.ID, p.Text, out.Feedback)
+					continue
+				}
+				if h < 0.9 {
+					t.Errorf("%s good phrasing scored %.3f (P=%.3f R=%.3f): %q\n%s",
+						tk.ID, h, out.PR.Precision, out.PR.Recall, p.Text, out.XQuery)
+				}
+			case MisSpecified:
+				if !out.Accepted {
+					t.Errorf("%s mis-specified phrasing rejected: %q → %v", tk.ID, p.Text, out.Feedback)
+					continue
+				}
+				if h >= 0.995 {
+					t.Errorf("%s mis-specified phrasing scored perfect %.3f: %q", tk.ID, h, p.Text)
+				}
+			case ParserTrap:
+				if !out.Accepted {
+					t.Errorf("%s parser-trap rejected: %q → %v", tk.ID, p.Text, out.Feedback)
+					continue
+				}
+				if h >= 0.9 {
+					t.Errorf("%s parser-trap scored %.3f (not degraded): %q\n%s", tk.ID, h, p.Text, out.XQuery)
+				}
+				if h < 0.2 {
+					t.Errorf("%s parser-trap collapsed to %.3f (too broken to be plausible): %q", tk.ID, h, p.Text)
+				}
+			case Invalid:
+				if out.Accepted {
+					t.Errorf("%s invalid phrasing accepted: %q\n%s", tk.ID, p.Text, out.XQuery)
+				}
+			}
+		}
+	}
+}
+
+// TestKeywordBaselinePerTask pins the Fig. 12 shape: keyword search is
+// strictly worse than NaLIX on every task, and collapses on the
+// aggregation/sorting tasks (Q7, Q10).
+func TestKeywordBaselinePerTask(t *testing.T) {
+	r := NewRunner(studyCorpus())
+	for _, tk := range Tasks() {
+		best := 0.0
+		for _, kq := range tk.Keyword {
+			pr, err := r.RunKeyword(tk, kq)
+			if err != nil {
+				t.Fatalf("%s: %v", tk.ID, err)
+			}
+			if h := pr.Harmonic(); h > best {
+				best = h
+			}
+		}
+		good, err := r.RunNL(tk, tk.Good()[0].Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best >= good.PR.Harmonic() {
+			t.Errorf("%s: keyword (%.3f) not worse than NaLIX (%.3f)", tk.ID, best, good.PR.Harmonic())
+		}
+		if tk.ID == "Q7" || tk.ID == "Q10" {
+			if best > 0.45 {
+				t.Errorf("%s: keyword should collapse on aggregation/sorting, got %.3f", tk.ID, best)
+			}
+		}
+	}
+}

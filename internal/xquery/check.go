@@ -1,0 +1,96 @@
+package xquery
+
+import (
+	"fmt"
+	"sort"
+)
+
+// knownFunctions lists the built-ins the evaluator implements, for static
+// checking.
+var knownFunctions = map[string]bool{
+	"true": true, "false": true, "not": true, "count": true,
+	"exists": true, "empty": true, "sum": true, "avg": true,
+	"min": true, "max": true, "mqf": true, "contains": true,
+	"ftcontains":  true,
+	"starts-with": true, "ends-with": true, "name": true,
+	"string": true, "data": true, "number": true, "concat": true,
+	"distinct-values": true,
+}
+
+// Check statically validates an expression: every variable reference must
+// be bound by an enclosing clause (or listed in outer), and every function
+// must be a known built-in. The translator runs this on its output so a
+// construction bug surfaces as an internal error instead of a confusing
+// runtime failure; the CLI runs it before evaluation for better messages.
+func Check(e Expr, outer ...string) error {
+	bound := map[string]bool{}
+	for _, v := range outer {
+		bound[v] = true
+	}
+	var errs []string
+	checkExpr(e, bound, &errs)
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Strings(errs)
+	return fmt.Errorf("xquery: %s", errs[0])
+}
+
+func checkExpr(e Expr, bound map[string]bool, errs *[]string) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *VarRef:
+		if !bound[x.Name] {
+			*errs = append(*errs, fmt.Sprintf("unbound variable $%s", x.Name))
+		}
+	case *FLWOR:
+		inner := copyBound(bound)
+		for _, cl := range x.Clauses {
+			checkExpr(cl.Source, inner, errs)
+			inner[cl.Var] = true
+		}
+		checkExpr(x.Where, inner, errs)
+		for _, o := range x.OrderBy {
+			checkExpr(o.Key, inner, errs)
+		}
+		checkExpr(x.Return, inner, errs)
+	case *Quantified:
+		checkExpr(x.In, bound, errs)
+		inner := copyBound(bound)
+		inner[x.Var] = true
+		checkExpr(x.Satisfies, inner, errs)
+	case *PathExpr:
+		checkExpr(x.Root, bound, errs)
+		if len(x.Steps) == 0 {
+			*errs = append(*errs, "path expression with no steps")
+		}
+	case *Comparison:
+		checkExpr(x.Left, bound, errs)
+		checkExpr(x.Right, bound, errs)
+	case *Logical:
+		checkExpr(x.Left, bound, errs)
+		checkExpr(x.Right, bound, errs)
+	case *Arith:
+		checkExpr(x.Left, bound, errs)
+		checkExpr(x.Right, bound, errs)
+	case *FuncCall:
+		if !knownFunctions[x.Name] {
+			*errs = append(*errs, fmt.Sprintf("unknown function %s()", x.Name))
+		}
+		for _, a := range x.Args {
+			checkExpr(a, bound, errs)
+		}
+	case *SeqExpr:
+		for _, it := range x.Items {
+			checkExpr(it, bound, errs)
+		}
+	case *ElementCtor:
+		for _, a := range x.Attrs {
+			checkExpr(a.Value, bound, errs)
+		}
+		for _, c := range x.Content {
+			checkExpr(c, bound, errs)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckAcceptsValidQueries(t *testing.T) {
+	for _, q := range []string{
+		`for $b in doc("x")//book where $b/year > 1991 return $b`,
+		`for $b in doc("x")//book let $n := count($b/author) where $n > 1 return $b`,
+		`some $a in doc("x")//author satisfies $a = "X"`,
+		`for $b in doc("x")//book return <r>{ $b/title }</r>`,
+	} {
+		ast, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := Check(ast); err != nil {
+			t.Errorf("Check(%s) = %v", q, err)
+		}
+	}
+}
+
+func TestCheckUnboundVariable(t *testing.T) {
+	ast, err := Parse(`for $b in doc("x")//book return $nope`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Check(ast)
+	if err == nil || !strings.Contains(err.Error(), "$nope") {
+		t.Errorf("Check = %v, want unbound $nope", err)
+	}
+	// The outer list whitelists externally bound variables.
+	if err := Check(ast, "nope"); err != nil {
+		t.Errorf("Check with outer binding = %v", err)
+	}
+}
+
+func TestCheckUnknownFunction(t *testing.T) {
+	ast, err := Parse(`frobnicate(1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(ast); err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("Check = %v", err)
+	}
+}
+
+func TestCheckQuantifierScope(t *testing.T) {
+	// The quantified variable is bound only inside satisfies.
+	ast, err := Parse(`some $a in doc("x")//author satisfies $a = "X"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(ast); err != nil {
+		t.Errorf("Check = %v", err)
+	}
+	ast2 := &Comparison{Op: OpEq, Left: &VarRef{Name: "a"}, Right: &StringLit{Value: "X"}}
+	if err := Check(ast2); err == nil {
+		t.Error("quantified variable leaked out of scope")
+	}
+}

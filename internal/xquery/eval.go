@@ -1,0 +1,631 @@
+package xquery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nalix/internal/fulltext"
+	"nalix/internal/mqf"
+	"nalix/internal/xmldb"
+)
+
+// Engine evaluates queries against a set of loaded documents. A zero-value
+// Engine is not usable; construct one with NewEngine. An Engine is not safe
+// for concurrent use (its indexes are built lazily during evaluation).
+type Engine struct {
+	docs     map[string]*xmldb.Document
+	defName  string
+	checkers map[string]*mqf.Checker
+	ftIdx    map[string]*fulltext.Index // lazy full-text indexes
+
+	// MQFDisabled makes mqf() degenerate to "always true" (pure
+	// cross-product joins). Used by the ablation benchmarks only.
+	MQFDisabled bool
+
+	// MaxSteps bounds the total number of variable bindings one Eval may
+	// explore, turning accidental cross-product blowups into errors
+	// instead of hangs. Zero means the default (20 million).
+	MaxSteps int
+
+	// DisablePlanner turns off the structural-join optimizations
+	// (mqf-driven candidate pruning, equality pushdown and domain
+	// caching), leaving plain nested-loop evaluation. Used by the
+	// ablation benchmarks to quantify the optimizer.
+	DisablePlanner bool
+
+	steps int
+}
+
+// ErrBudget is returned (wrapped) when a query exceeds the binding budget.
+var ErrBudget = fmt.Errorf("xquery: query exceeded the evaluation budget (unconstrained cross product?)")
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		docs:     make(map[string]*xmldb.Document),
+		checkers: make(map[string]*mqf.Checker),
+	}
+}
+
+// AddDocument registers a document. The first document added becomes the
+// default document (referenced by bare `doc` or a leading "//" path).
+func (e *Engine) AddDocument(d *xmldb.Document) {
+	e.docs[d.Name] = d
+	e.checkers[d.Name] = mqf.NewChecker(d)
+	if e.defName == "" {
+		e.defName = d.Name
+	}
+}
+
+// Document returns the document with the given name, or the default
+// document when name is empty; ok is false when it is not loaded.
+func (e *Engine) Document(name string) (*xmldb.Document, bool) {
+	if name == "" {
+		name = e.defName
+	}
+	d, ok := e.docs[name]
+	return d, ok
+}
+
+// DefaultDocument returns the default document, or nil when none is loaded.
+func (e *Engine) DefaultDocument() *xmldb.Document {
+	d, _ := e.Document("")
+	return d
+}
+
+// Query parses and evaluates an XQuery string, returning the result
+// sequence.
+func (e *Engine) Query(src string) (Sequence, error) {
+	expr, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(expr)
+}
+
+// Eval evaluates a parsed expression with an empty variable environment.
+func (e *Engine) Eval(expr Expr) (Sequence, error) {
+	e.steps = 0
+	env := &env{engine: e}
+	return e.eval(expr, env)
+}
+
+// spend consumes n units of the binding budget.
+func (e *Engine) spend(n int) error {
+	e.steps += n
+	limit := e.MaxSteps
+	if limit <= 0 {
+		limit = 20_000_000
+	}
+	if e.steps > limit {
+		return ErrBudget
+	}
+	return nil
+}
+
+// env is a linked-list variable environment.
+type env struct {
+	engine *Engine
+	name   string
+	value  Sequence
+	parent *env
+}
+
+func (v *env) bind(name string, value Sequence) *env {
+	return &env{engine: v.engine, name: name, value: value, parent: v}
+}
+
+func (v *env) lookup(name string) (Sequence, bool) {
+	for e := v; e != nil; e = e.parent {
+		if e.name == name {
+			return e.value, true
+		}
+	}
+	return nil, false
+}
+
+func (e *Engine) eval(expr Expr, env *env) (Sequence, error) {
+	switch x := expr.(type) {
+	case *FLWOR:
+		return e.evalFLWOR(x, env)
+	case *DocRef:
+		d, ok := e.Document(x.Name)
+		if !ok {
+			if x.Name == "" {
+				return nil, fmt.Errorf("xquery: no default document loaded")
+			}
+			return nil, fmt.Errorf("xquery: document %q not loaded", x.Name)
+		}
+		return Sequence{NodeItem{d.Root}}, nil
+	case *VarRef:
+		val, ok := env.lookup(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("xquery: unbound variable $%s", x.Name)
+		}
+		return val, nil
+	case *StringLit:
+		return Sequence{StringItem{x.Value}}, nil
+	case *NumberLit:
+		return Sequence{NumberItem{x.Value}}, nil
+	case *PathExpr:
+		return e.evalPath(x, env)
+	case *Comparison:
+		l, err := e.eval(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{BoolItem{generalCompare(x.Op, l, r)}}, nil
+	case *Logical:
+		l, err := e.eval(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		lv := EffectiveBool(l)
+		if x.Op == OpAnd && !lv {
+			return Sequence{BoolItem{false}}, nil
+		}
+		if x.Op == OpOr && lv {
+			return Sequence{BoolItem{true}}, nil
+		}
+		r, err := e.eval(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{BoolItem{EffectiveBool(r)}}, nil
+	case *Arith:
+		l, err := e.eval(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 || len(r) == 0 {
+			return nil, nil // empty propagates
+		}
+		fl, okl := numericValue(l[0])
+		fr, okr := numericValue(r[0])
+		if !okl || !okr {
+			return nil, fmt.Errorf("xquery: arithmetic on non-numeric value")
+		}
+		var out float64
+		switch x.Op {
+		case OpAdd:
+			out = fl + fr
+		case OpSub:
+			out = fl - fr
+		case OpMul:
+			out = fl * fr
+		case OpDiv:
+			if fr == 0 {
+				return nil, fmt.Errorf("xquery: division by zero")
+			}
+			out = fl / fr
+		case OpMod:
+			if fr == 0 {
+				return nil, fmt.Errorf("xquery: modulo by zero")
+			}
+			out = float64(int64(fl) % int64(fr))
+		}
+		return Sequence{NumberItem{out}}, nil
+	case *FuncCall:
+		return e.evalFunc(x, env)
+	case *Quantified:
+		domain, err := e.eval(x.In, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range domain {
+			body, err := e.eval(x.Satisfies, env.bind(x.Var, Sequence{it}))
+			if err != nil {
+				return nil, err
+			}
+			holds := EffectiveBool(body)
+			if x.Every && !holds {
+				return Sequence{BoolItem{false}}, nil
+			}
+			if !x.Every && holds {
+				return Sequence{BoolItem{true}}, nil
+			}
+		}
+		return Sequence{BoolItem{x.Every}}, nil
+	case *SeqExpr:
+		var out Sequence
+		for _, item := range x.Items {
+			v, err := e.eval(item, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v...)
+		}
+		return out, nil
+	case *ElementCtor:
+		return e.evalCtor(x, env)
+	default:
+		return nil, fmt.Errorf("xquery: cannot evaluate %T", expr)
+	}
+}
+
+func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
+	type tuple struct {
+		env     *env
+		keys    []Item
+		docKeys []int
+	}
+	var tuples []tuple
+
+	// The where clause is split into conjuncts, each evaluated as soon
+	// as its free variables are bound — a semi-join-style pushdown that
+	// prunes the binding search early. mqf() conjuncts additionally
+	// drive candidate generation: a variable joined by mqf to an
+	// already-bound variable ranges only over the structurally related
+	// nodes (see mqf.Checker.RelatedCandidates), not the whole label
+	// domain. This mirrors the structural join optimizations of native
+	// XML engines like the paper's Timber.
+	conjuncts := splitConjuncts(f.Where)
+
+	// Clause reordering: bind selective variables first. Unless the
+	// query orders its results explicitly, document order is restored
+	// afterwards from the bindings of the original first for-clauses.
+	clauses := f.Clauses
+	perm := orderClauses(e, f, env0, conjuncts)
+	reordered := false
+	for i, pi := range perm {
+		if pi != i {
+			reordered = true
+		}
+	}
+	if reordered && !e.DisablePlanner {
+		clauses = make([]Clause, len(perm))
+		for i, pi := range perm {
+			clauses[i] = f.Clauses[pi]
+		}
+	} else {
+		reordered = false
+	}
+	g := &FLWOR{Clauses: clauses, Where: f.Where, OrderBy: f.OrderBy, Return: f.Return}
+
+	// readyAt[ci] is the clause index after which conjunct ci's free
+	// variables are all bound: 0 = before any clause (outer vars only),
+	// len(Clauses) = only at tuple completion.
+	readyAt := make([]int, len(conjuncts))
+	for ci, c := range conjuncts {
+		level := 0
+		for v := range freeVars(c) {
+			if _, ok := env0.lookup(v); ok {
+				continue
+			}
+			found := false
+			for i, cl := range clauses {
+				if cl.Var == v {
+					if i+1 > level {
+						level = i + 1
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				level = len(clauses) // unbound: surfaces an error later
+			}
+		}
+		readyAt[ci] = level
+	}
+
+	// Cache environment-independent for-domains (paths rooted at a
+	// document) so they are evaluated once, not per outer binding.
+	domainCache := make(map[int]Sequence)
+
+	var expand func(i int, cur *env) error
+	expand = func(i int, cur *env) error {
+		// Evaluate every conjunct that becomes ready at this level.
+		for ci, c := range conjuncts {
+			if readyAt[ci] != i {
+				continue
+			}
+			w, err := e.eval(c, cur)
+			if err != nil {
+				return err
+			}
+			if !EffectiveBool(w) {
+				return nil // prune this branch
+			}
+		}
+		if i == len(clauses) {
+			t := tuple{env: cur}
+			for _, spec := range f.OrderBy {
+				k, err := e.eval(spec.Key, cur)
+				if err != nil {
+					return err
+				}
+				var key Item = StringItem{""}
+				if len(k) > 0 {
+					key = k[0]
+				}
+				t.keys = append(t.keys, key)
+			}
+			if reordered && len(f.OrderBy) == 0 {
+				// Document-order restoration keys: the original clause
+				// order's bindings.
+				for _, cl := range f.Clauses {
+					if cl.Kind != ForClause {
+						continue
+					}
+					pre := 0
+					if val, ok := cur.lookup(cl.Var); ok && len(val) == 1 {
+						if ni, okn := val[0].(NodeItem); okn {
+							pre = ni.Node.Pre
+						}
+					}
+					t.docKeys = append(t.docKeys, pre)
+				}
+			}
+			tuples = append(tuples, t)
+			return nil
+		}
+		cl := clauses[i]
+		if cl.Kind == LetClause {
+			src, err := e.eval(cl.Source, cur)
+			if err != nil {
+				return err
+			}
+			return expand(i+1, cur.bind(cl.Var, src))
+		}
+		src, err := e.forDomain(g, i, cur, env0, conjuncts, domainCache)
+		if err != nil {
+			return err
+		}
+		if err := e.spend(len(src)); err != nil {
+			return err
+		}
+		for _, it := range src {
+			if err := expand(i+1, cur.bind(cl.Var, Sequence{it})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := expand(0, env0); err != nil {
+		return nil, err
+	}
+
+	if reordered && len(f.OrderBy) == 0 {
+		sort.SliceStable(tuples, func(a, b int) bool {
+			ka, kb := tuples[a].docKeys, tuples[b].docKeys
+			for i := 0; i < len(ka) && i < len(kb); i++ {
+				if ka[i] != kb[i] {
+					return ka[i] < kb[i]
+				}
+			}
+			return false
+		})
+	}
+	if len(f.OrderBy) > 0 {
+		sort.SliceStable(tuples, func(a, b int) bool {
+			for k, spec := range f.OrderBy {
+				ka, kb := tuples[a].keys[k], tuples[b].keys[k]
+				var less, eq bool
+				fa, oka := numericValue(ka)
+				fb, okb := numericValue(kb)
+				if oka && okb {
+					less, eq = fa < fb, fa == fb
+				} else {
+					sa, sb := AtomizeItem(ka), AtomizeItem(kb)
+					less, eq = sa < sb, sa == sb
+				}
+				if eq {
+					continue
+				}
+				if spec.Descending {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+	}
+
+	var out Sequence
+	for _, t := range tuples {
+		v, err := e.eval(f.Return, t.env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func (e *Engine) evalPath(p *PathExpr, env *env) (Sequence, error) {
+	var root Expr = p.Root
+	if root == nil {
+		root = &DocRef{}
+	}
+	cur, err := e.eval(root, env)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range p.Steps {
+		var next []*xmldb.Node
+		seen := make(map[*xmldb.Node]bool)
+		for _, it := range cur {
+			ni, ok := it.(NodeItem)
+			if !ok {
+				return nil, fmt.Errorf("xquery: path step /%s applied to atomic value", st.Name)
+			}
+			n := ni.Node
+			if st.Descendant {
+				doc := e.docForNode(n)
+				if doc == nil {
+					// Constructed tree: walk manually.
+					collectDescendants(n, st.Name, &next, seen)
+					continue
+				}
+				if st.Name == "*" {
+					collectDescendants(n, st.Name, &next, seen)
+					continue
+				}
+				for _, d := range doc.Descendants(n, st.Name) {
+					if !seen[d] {
+						seen[d] = true
+						next = append(next, d)
+					}
+				}
+				if n.Label == st.Name && !seen[n] {
+					// descendant-or-self semantics
+					seen[n] = true
+					next = append(next, n)
+				}
+			} else {
+				for _, c := range n.Children {
+					if c.Kind == xmldb.TextNode {
+						continue
+					}
+					if (st.Name == "*" || c.Label == st.Name) && !seen[c] {
+						seen[c] = true
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].Pre < next[j].Pre })
+		fresh := make(Sequence, 0, len(next))
+		for _, n := range next {
+			fresh = append(fresh, NodeItem{n})
+		}
+		cur = fresh
+	}
+	return cur, nil
+}
+
+// ftIndex returns (building lazily) the full-text index for a document.
+func (e *Engine) ftIndex(doc *xmldb.Document) *fulltext.Index {
+	if e.ftIdx == nil {
+		e.ftIdx = make(map[string]*fulltext.Index)
+	}
+	idx, ok := e.ftIdx[doc.Name]
+	if !ok {
+		idx = fulltext.NewIndex(doc)
+		e.ftIdx[doc.Name] = idx
+	}
+	return idx
+}
+
+// docForNode finds the loaded document a node belongs to (nil for
+// constructed trees).
+func (e *Engine) docForNode(n *xmldb.Node) *xmldb.Document {
+	root := n
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	for _, d := range e.docs {
+		if d.Root == root {
+			return d
+		}
+	}
+	return nil
+}
+
+func collectDescendants(n *xmldb.Node, name string, out *[]*xmldb.Node, seen map[*xmldb.Node]bool) {
+	var walk func(m *xmldb.Node)
+	walk = func(m *xmldb.Node) {
+		if m.Kind != xmldb.TextNode && m.Kind != xmldb.DocumentNode &&
+			(name == "*" || m.Label == name) && !seen[m] {
+			seen[m] = true
+			*out = append(*out, m)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	// descendant-or-self: n itself was included by walk when it matches.
+}
+
+func (e *Engine) evalCtor(c *ElementCtor, env *env) (Sequence, error) {
+	b := xmldb.NewBuilder("")
+	if err := e.buildCtor(b, c, env); err != nil {
+		return nil, err
+	}
+	doc := b.Document()
+	el := doc.RootElement()
+	return Sequence{NodeItem{el}}, nil
+}
+
+func (e *Engine) buildCtor(b *xmldb.Builder, c *ElementCtor, env *env) error {
+	var attrs []string
+	for _, a := range c.Attrs {
+		v, err := e.eval(a.Value, env)
+		if err != nil {
+			return err
+		}
+		var parts []string
+		for _, it := range v {
+			parts = append(parts, strings.TrimSpace(AtomizeItem(it)))
+		}
+		attrs = append(attrs, a.Name, strings.Join(parts, " "))
+	}
+	b.Open(c.Name, attrs...)
+	for _, ce := range c.Content {
+		if lit, ok := ce.(*StringLit); ok {
+			b.Text(lit.Value)
+			continue
+		}
+		if sub, ok := ce.(*ElementCtor); ok {
+			if err := e.buildCtor(b, sub, env); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := e.eval(ce, env)
+		if err != nil {
+			return err
+		}
+		for _, it := range v {
+			switch iv := it.(type) {
+			case NodeItem:
+				copyInto(b, iv.Node)
+			default:
+				b.Text(AtomizeItem(it))
+			}
+		}
+	}
+	b.Close()
+	return nil
+}
+
+// copyInto deep-copies node n (as element content) into the builder.
+func copyInto(b *xmldb.Builder, n *xmldb.Node) {
+	switch n.Kind {
+	case xmldb.TextNode:
+		b.Text(n.Data)
+	case xmldb.AttributeNode:
+		// An attribute copied as content becomes an element, keeping
+		// results well-formed (same convention as xmldb.Serialize).
+		b.Leaf(n.Label, n.Data)
+	case xmldb.ElementNode:
+		var attrs []string
+		for _, c := range n.Children {
+			if c.Kind == xmldb.AttributeNode {
+				attrs = append(attrs, c.Label, c.Data)
+			}
+		}
+		b.Open(n.Label, attrs...)
+		for _, c := range n.Children {
+			if c.Kind != xmldb.AttributeNode {
+				copyInto(b, c)
+			}
+		}
+		b.Close()
+	case xmldb.DocumentNode:
+		for _, c := range n.Children {
+			copyInto(b, c)
+		}
+	}
+}

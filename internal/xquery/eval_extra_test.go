@@ -1,0 +1,224 @@
+package xquery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+func TestBudgetExceeded(t *testing.T) {
+	e := newTestEngine(t)
+	e.MaxSteps = 10
+	_, err := e.Query(`for $a in doc("bib.xml")//book, $b in doc("bib.xml")//book,
+	                       $c in doc("bib.xml")//book
+	                   return $a`)
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("expected budget error, got %v", err)
+	}
+	// The budget resets per Eval: a small query still works afterwards.
+	e.MaxSteps = 0
+	if _, err := e.Query(`count(doc("bib.xml")//book)`); err != nil {
+		t.Errorf("post-budget query failed: %v", err)
+	}
+}
+
+func TestClauseReorderPreservesResults(t *testing.T) {
+	e := newTestEngine(t)
+	// The selective publisher equality makes the optimizer bind $p
+	// first; results must still come back in document order of $b.
+	q := `for $b in doc("bib.xml")//book, $p in doc("bib.xml")//publisher
+	      where mqf($b, $p) and $p = "Addison-Wesley"
+	      return $b/title`
+	got := values(runQuery(t, e, q))
+	want := []string{"TCP/IP Illustrated", "Advanced Programming in the Unix environment"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("got %v, want %v (document order)", got, want)
+	}
+}
+
+func TestClauseReorderWithDependentLet(t *testing.T) {
+	e := newTestEngine(t)
+	// The let depends on $b; the optimizer must not hoist it above $b.
+	q := `for $b in doc("bib.xml")//book
+	      let $n := count($b/author)
+	      where $n >= 2
+	      return $b/title`
+	got := values(runQuery(t, e, q))
+	if len(got) != 1 || got[0] != "Data on the Web" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDisablePlannerSameResults(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $t in doc("movies.xml")//title, $d in doc("movies.xml")//director
+	      where mqf($t, $d) and $d = "Ron Howard"
+	      return $t`
+	fast := values(runQuery(t, e, q))
+	e2 := newTestEngine(t)
+	e2.DisablePlanner = true
+	slow := values(runQuery(t, e2, q))
+	if strings.Join(fast, "|") != strings.Join(slow, "|") {
+		t.Errorf("planner changed results:\n fast=%v\n slow=%v", fast, slow)
+	}
+}
+
+func TestPathOnAtomicErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Query(`for $x in (1, 2) return $x/title`); err == nil {
+		t.Error("expected error for path step on atomic value")
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `count(doc("bib.xml")//book/*)`)
+	// 4 books: title+author+publisher+price (+extra authors, editor) +
+	// year attributes.
+	n := values(res)[0]
+	if n != "22" {
+		t.Errorf("book/* count = %s, want 22", n)
+	}
+}
+
+func TestChildStepAfterDescendant(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `count(doc("bib.xml")//author/last)`)
+	if values(res)[0] != "5" {
+		t.Errorf("author/last = %v, want 5", values(res))
+	}
+}
+
+func TestStringAndDataFunctions(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `string(doc("bib.xml")//book/year)`)
+	if len(res) == 0 {
+		t.Fatal("empty string()")
+	}
+	res = runQuery(t, e, `data(doc("bib.xml")//price)`)
+	if len(res) != 4 {
+		t.Errorf("data() = %d items", len(res))
+	}
+	res = runQuery(t, e, `number(doc("bib.xml")//book/year)`)
+	if values(res)[0] != "1994" {
+		t.Errorf("number() = %v", values(res))
+	}
+}
+
+func TestConcatAndExists(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `concat("a", "b", 3)`)
+	if values(res)[0] != "ab3" {
+		t.Errorf("concat = %v", values(res))
+	}
+	res = runQuery(t, e, `exists(doc("bib.xml")//isbn)`)
+	if values(res)[0] != "false" {
+		t.Errorf("exists = %v", values(res))
+	}
+	res = runQuery(t, e, `empty(doc("bib.xml")//isbn)`)
+	if values(res)[0] != "true" {
+		t.Errorf("empty = %v", values(res))
+	}
+}
+
+func TestTrueFalseLiterals(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $b in doc("bib.xml")//book where true() return $b`)
+	if len(res) != 4 {
+		t.Errorf("true() filter = %d", len(res))
+	}
+	res = runQuery(t, e, `for $b in doc("bib.xml")//book where false() return $b`)
+	if len(res) != 0 {
+		t.Errorf("false() filter = %d", len(res))
+	}
+}
+
+func TestArityErrors(t *testing.T) {
+	e := newTestEngine(t)
+	for _, q := range []string{
+		`count()`,
+		`count(1, 2)`,
+		`not()`,
+		`contains("a")`,
+		`position()`,
+	} {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("%s: expected error", q)
+		}
+	}
+}
+
+func TestMQFOverConstructedNodesErrors(t *testing.T) {
+	e := newTestEngine(t)
+	_, err := e.Query(`let $a := <x>1</x> let $b := <y>2</y> return mqf($a, $b)`)
+	if err == nil {
+		t.Error("expected error for mqf over constructed nodes")
+	}
+}
+
+func TestMQFEmptyArgument(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `mqf(doc("bib.xml")//isbn, doc("bib.xml")//book)`)
+	if values(res)[0] != "false" {
+		t.Errorf("mqf with empty arg = %v", values(res))
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `
+		for $b in doc("bib.xml")//book
+		order by $b/publisher, $b/year descending
+		return $b/year`)
+	got := values(res)
+	// Addison-Wesley books first (1994 before 1992 due to descending
+	// year), then Kluwer, then Morgan Kaufmann.
+	want := []string{"1994", "1992", "1999", "2000"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("multi-key order = %v, want %v", got, want)
+	}
+}
+
+func TestSerializeSequenceMixed(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `(count(doc("bib.xml")//book), doc("bib.xml")//book/title)`)
+	s := SerializeSequence(res)
+	if !strings.HasPrefix(s, "4\n") || !strings.Contains(s, "<title>") {
+		t.Errorf("serialized = %q", s)
+	}
+}
+
+func TestSequenceStringer(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `(1, "a", doc("bib.xml")//book/title)`)
+	s := res.String()
+	if !strings.Contains(s, "node(title#") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEngineDocumentLookup(t *testing.T) {
+	e := newTestEngine(t)
+	if d := e.DefaultDocument(); d == nil || d.Name != "movies.xml" {
+		t.Errorf("default document = %v", d)
+	}
+	if _, ok := e.Document("nope.xml"); ok {
+		t.Error("unexpected document")
+	}
+}
+
+func TestEvalCtorWithAtomicContent(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $b in doc("bib.xml")//book
+	                       where $b/year = 1994
+	                       return <r n="{count($b/author)}">{ $b/year + 1 }</r>`)
+	if len(res) != 1 {
+		t.Fatalf("got %d", len(res))
+	}
+	s := xmldb.SerializeString(res[0].(NodeItem).Node)
+	if !strings.Contains(s, `n="1"`) || !strings.Contains(s, "1995") {
+		t.Errorf("ctor = %s", s)
+	}
+}

@@ -1,0 +1,201 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar    // $name
+	tokString // "..." or '...'
+	tokNumber
+	tokSymbol // one of the operator/punctuation spellings
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// lexer tokenizes an XQuery string. Element constructors are handled by the
+// parser switching the lexer into raw mode via readUntil.
+type lexer struct {
+	src  string
+	off  int
+	toks []token // lookahead buffer
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+var symbols = []string{
+	":=", "!=", "<=", ">=", "</", "//",
+	"(", ")", "{", "}", ",", "=", "<", ">", "/", "@", "+", "-", "*",
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	line := 1 + strings.Count(l.src[:min(pos, len(l.src))], "\n")
+	return fmt.Errorf("xquery: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.off++
+			continue
+		}
+		// (: comment :)
+		if c == '(' && l.off+1 < len(l.src) && l.src[l.off+1] == ':' {
+			end := strings.Index(l.src[l.off:], ":)")
+			if end < 0 {
+				l.off = len(l.src)
+				return
+			}
+			l.off += end + 2
+			continue
+		}
+		return
+	}
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+// next returns the next token, consuming it.
+func (l *lexer) next() (token, error) {
+	if len(l.toks) > 0 {
+		t := l.toks[0]
+		l.toks = l.toks[1:]
+		return t, nil
+	}
+	return l.scan()
+}
+
+// peek returns the next token without consuming it.
+func (l *lexer) peek() (token, error) {
+	if len(l.toks) == 0 {
+		t, err := l.scan()
+		if err != nil {
+			return t, err
+		}
+		l.toks = append(l.toks, t)
+	}
+	return l.toks[0], nil
+}
+
+// peek2 returns the token after the next one.
+func (l *lexer) peek2() (token, error) {
+	for len(l.toks) < 2 {
+		save := l.toks
+		l.toks = nil
+		t, err := l.scan()
+		l.toks = save
+		if err != nil {
+			return t, err
+		}
+		l.toks = append(l.toks, t)
+	}
+	return l.toks[1], nil
+}
+
+func (l *lexer) scan() (token, error) {
+	l.skipSpace()
+	pos := l.off
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.src[l.off]
+	switch {
+	case c == '$':
+		l.off++
+		start := l.off
+		for l.off < len(l.src) && isNameChar(rune(l.src[l.off])) {
+			l.off++
+		}
+		if l.off == start {
+			return token{}, l.errf(pos, "empty variable name after '$'")
+		}
+		return token{kind: tokVar, text: l.src[start:l.off], pos: pos}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.off++
+		var sb strings.Builder
+		for l.off < len(l.src) {
+			ch := l.src[l.off]
+			if ch == quote {
+				// doubled quote escapes itself
+				if l.off+1 < len(l.src) && l.src[l.off+1] == quote {
+					sb.WriteByte(quote)
+					l.off += 2
+					continue
+				}
+				l.off++
+				return token{kind: tokString, text: sb.String(), pos: pos}, nil
+			}
+			sb.WriteByte(ch)
+			l.off++
+		}
+		return token{}, l.errf(pos, "unterminated string literal")
+	case c >= '0' && c <= '9':
+		start := l.off
+		for l.off < len(l.src) && (l.src[l.off] >= '0' && l.src[l.off] <= '9' || l.src[l.off] == '.') {
+			l.off++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], pos: pos}, nil
+	}
+	if isNameStart(rune(c)) {
+		start := l.off
+		for l.off < len(l.src) && isNameChar(rune(l.src[l.off])) {
+			l.off++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	}
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.off:], s) {
+			l.off += len(s)
+			return token{kind: tokSymbol, text: s, pos: pos}, nil
+		}
+	}
+	return token{}, l.errf(pos, "unexpected character %q", string(c))
+}
+
+// readRawUntil reads raw source text (element-constructor content) up to,
+// but not including, the first occurrence of any of the stop strings,
+// returning the text and the stop that matched. The lookahead buffer must
+// be empty when this is called.
+func (l *lexer) readRawUntil(stops ...string) (text, stop string, err error) {
+	if len(l.toks) > 0 {
+		return "", "", fmt.Errorf("xquery: internal: raw read with pending lookahead")
+	}
+	best := -1
+	for i := l.off; i < len(l.src); i++ {
+		for _, s := range stops {
+			if strings.HasPrefix(l.src[i:], s) {
+				best = i
+				stop = s
+				break
+			}
+		}
+		if best >= 0 {
+			break
+		}
+	}
+	if best < 0 {
+		return "", "", l.errf(l.off, "unterminated element content (expected one of %v)", stops)
+	}
+	text = l.src[l.off:best]
+	l.off = best + len(stop)
+	return text, stop, nil
+}

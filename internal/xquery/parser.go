@@ -1,0 +1,724 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an XQuery string into an AST. The accepted language is the
+// FLWOR subset documented in the package comment; syntax errors carry line
+// numbers.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokEOF {
+		return nil, p.lex.errf(t.pos, "unexpected trailing input starting at %q", t.text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokSymbol || t.text != s {
+		return p.lex.errf(t.pos, "expected %q, found %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokIdent || t.text != kw {
+		return p.lex.errf(t.pos, "expected %q, found %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) peekIsKeyword(kw string) bool {
+	t, err := p.lex.peek()
+	return err == nil && t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) peekIsSymbol(s string) bool {
+	t, err := p.lex.peek()
+	return err == nil && t.kind == tokSymbol && t.text == s
+}
+
+// parseExpr parses a full expression: either a FLWOR or an operator
+// expression.
+func (p *parser) parseExpr() (Expr, error) {
+	if p.peekIsKeyword("for") || p.peekIsKeyword("let") {
+		return p.parseFLWOR()
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseFLWOR() (Expr, error) {
+	f := &FLWOR{}
+	for {
+		switch {
+		case p.peekIsKeyword("for"):
+			if _, err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			for {
+				cl, err := p.parseBinding(ForClause, "in")
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, cl)
+				if !p.peekIsSymbol(",") {
+					break
+				}
+				if _, err := p.lex.next(); err != nil {
+					return nil, err
+				}
+			}
+		case p.peekIsKeyword("let"):
+			if _, err := p.lex.next(); err != nil {
+				return nil, err
+			}
+			for {
+				cl, err := p.parseBinding(LetClause, ":=")
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, cl)
+				if !p.peekIsSymbol(",") {
+					break
+				}
+				if _, err := p.lex.next(); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			goto clausesDone
+		}
+	}
+clausesDone:
+	if len(f.Clauses) == 0 {
+		t, _ := p.lex.peek()
+		return nil, p.lex.errf(t.pos, "FLWOR expression needs at least one for/let clause")
+	}
+	if p.peekIsKeyword("where") {
+		if _, err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = w
+	}
+	if p.peekIsKeyword("order") || p.peekIsKeyword("orderby") {
+		t, _ := p.lex.next()
+		if t.text == "order" {
+			if err := p.expectKeyword("by"); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			key, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			spec := OrderSpec{Key: key}
+			if p.peekIsKeyword("ascending") {
+				_, _ = p.lex.next()
+			} else if p.peekIsKeyword("descending") {
+				_, _ = p.lex.next()
+				spec.Descending = true
+			}
+			f.OrderBy = append(f.OrderBy, spec)
+			if !p.peekIsSymbol(",") {
+				break
+			}
+			if _, err := p.lex.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	r, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = r
+	return f, nil
+}
+
+// parseExprSingle parses one expression that may itself be a FLWOR (used
+// for return clauses and quantifier bodies).
+func (p *parser) parseExprSingle() (Expr, error) {
+	if p.peekIsKeyword("for") || p.peekIsKeyword("let") {
+		return p.parseFLWOR()
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseBinding(kind ClauseKind, sep string) (Clause, error) {
+	t, err := p.lex.next()
+	if err != nil {
+		return Clause{}, err
+	}
+	if t.kind != tokVar {
+		return Clause{}, p.lex.errf(t.pos, "expected variable, found %q", t.text)
+	}
+	cl := Clause{Kind: kind, Var: t.text}
+	if sep == "in" {
+		if err := p.expectKeyword("in"); err != nil {
+			return Clause{}, err
+		}
+	} else {
+		if err := p.expectSymbol(":="); err != nil {
+			return Clause{}, err
+		}
+	}
+	src, err := p.parseExprSingle()
+	if err != nil {
+		return Clause{}, err
+	}
+	cl.Source = src
+	return cl, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIsKeyword("or") {
+		if _, err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekIsKeyword("and") {
+		if _, err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	"eq": OpEq, "ne": OpNe, "lt": OpLt, "le": OpLe, "gt": OpGt, "ge": OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	// '<' may begin an element constructor only in primary position,
+	// never infix, so here it is always the comparison operator.
+	var opText string
+	if t.kind == tokSymbol || t.kind == tokIdent {
+		if _, ok := cmpOps[t.text]; ok {
+			opText = t.text
+		}
+	}
+	if opText == "" {
+		return left, nil
+	}
+	if _, err := p.lex.next(); err != nil {
+		return nil, err
+	}
+	right, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Op: cmpOps[opText], Left: left, Right: right}, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch {
+		case p.peekIsSymbol("+"):
+			op = OpAdd
+		case p.peekIsSymbol("-"):
+			op = OpSub
+		default:
+			return left, nil
+		}
+		if _, err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &Arith{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch {
+		case p.peekIsSymbol("*"):
+			op = OpMul
+		case p.peekIsKeyword("div"):
+			op = OpDiv
+		case p.peekIsKeyword("mod"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		if _, err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		left = &Arith{Op: op, Left: left, Right: right}
+	}
+}
+
+// parsePath parses a primary expression followed by optional path steps.
+func (p *parser) parsePath() (Expr, error) {
+	var root Expr
+	// A path may start with "/" or "//" against the default document.
+	if p.peekIsSymbol("/") || p.peekIsSymbol("//") {
+		root = &DocRef{}
+	} else {
+		prim, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		root = prim
+	}
+	var steps []Step
+	for {
+		desc := false
+		if p.peekIsSymbol("//") {
+			desc = true
+		} else if !p.peekIsSymbol("/") {
+			break
+		}
+		if _, err := p.lex.next(); err != nil {
+			return nil, err
+		}
+		if p.peekIsSymbol("@") {
+			if _, err := p.lex.next(); err != nil {
+				return nil, err
+			}
+		}
+		t, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		var name string
+		switch {
+		case t.kind == tokIdent:
+			name = t.text
+		case t.kind == tokSymbol && t.text == "*":
+			name = "*"
+		default:
+			return nil, p.lex.errf(t.pos, "expected step name after path separator, found %q", t.text)
+		}
+		steps = append(steps, Step{Descendant: desc, Name: name})
+	}
+	if len(steps) == 0 {
+		return root, nil
+	}
+	return &PathExpr{Root: root, Steps: steps}, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case tokVar:
+		_, _ = p.lex.next()
+		return &VarRef{Name: t.text}, nil
+	case tokString:
+		_, _ = p.lex.next()
+		return &StringLit{Value: t.text}, nil
+	case tokNumber:
+		_, _ = p.lex.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.lex.errf(t.pos, "bad number %q", t.text)
+		}
+		return &NumberLit{Value: v}, nil
+	case tokSymbol:
+		switch t.text {
+		case "(":
+			_, _ = p.lex.next()
+			return p.parseParenSeq()
+		case "{":
+			_, _ = p.lex.next()
+			inner, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("}"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case "<":
+			return p.parseElementCtor()
+		case "-":
+			_, _ = p.lex.next()
+			operand, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			return &Arith{Op: OpSub, Left: &NumberLit{Value: 0}, Right: operand}, nil
+		}
+	case tokIdent:
+		switch t.text {
+		case "some", "every":
+			return p.parseQuantified()
+		case "doc":
+			// doc("name") or bare doc (default document)
+			nxt, err := p.lex.peek2()
+			if err != nil {
+				return nil, err
+			}
+			if nxt.kind == tokSymbol && nxt.text == "(" {
+				_, _ = p.lex.next()
+				_, _ = p.lex.next()
+				nameTok, err := p.lex.next()
+				if err != nil {
+					return nil, err
+				}
+				if nameTok.kind != tokString {
+					return nil, p.lex.errf(nameTok.pos, "doc() expects a string argument")
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &DocRef{Name: nameTok.text}, nil
+			}
+			_, _ = p.lex.next()
+			return &DocRef{}, nil
+		case "true", "false":
+			nxt, err := p.lex.peek2()
+			if err != nil {
+				return nil, err
+			}
+			if nxt.kind == tokSymbol && nxt.text == "(" {
+				_, _ = p.lex.next()
+				_, _ = p.lex.next()
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &FuncCall{Name: t.text}, nil
+			}
+		}
+		// Function call?
+		nxt, err := p.lex.peek2()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.kind == tokSymbol && nxt.text == "(" {
+			_, _ = p.lex.next()
+			_, _ = p.lex.next()
+			return p.parseCallArgs(t.text)
+		}
+		// Bare identifier: a relative path step (e.g. inside
+		// predicates); treat as child step from the default document is
+		// surprising, so reject with guidance.
+		return nil, p.lex.errf(t.pos, "unexpected identifier %q (paths must start with $var, doc, '/' or '//')", t.text)
+	}
+	return nil, p.lex.errf(t.pos, "unexpected token %q", t.text)
+}
+
+func (p *parser) parseParenSeq() (Expr, error) {
+	if p.peekIsSymbol(")") {
+		_, _ = p.lex.next()
+		return &SeqExpr{}, nil
+	}
+	var items []Expr
+	for {
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+		if p.peekIsSymbol(",") {
+			_, _ = p.lex.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &SeqExpr{Items: items}, nil
+}
+
+func (p *parser) parseCallArgs(name string) (Expr, error) {
+	call := &FuncCall{Name: name}
+	if p.peekIsSymbol(")") {
+		_, _ = p.lex.next()
+		return call, nil
+	}
+	for {
+		arg, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.peekIsSymbol(",") {
+			_, _ = p.lex.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseQuantified() (Expr, error) {
+	t, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	q := &Quantified{Every: t.text == "every"}
+	v, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if v.kind != tokVar {
+		return nil, p.lex.errf(v.pos, "expected variable after %q", t.text)
+	}
+	q.Var = v.text
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	in, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	q.In = in
+	if err := p.expectKeyword("satisfies"); err != nil {
+		return nil, err
+	}
+	// A braced body is common in the paper's generated queries.
+	if p.peekIsSymbol("{") {
+		_, _ = p.lex.next()
+		body, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		q.Satisfies = body
+		return q, nil
+	}
+	body, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	q.Satisfies = body
+	return q, nil
+}
+
+// parseElementCtor parses a direct element constructor:
+//
+//	<name attr="text{expr}text">content{expr}content</name>
+//
+// Content text is raw; embedded expressions appear inside braces.
+func (p *parser) parseElementCtor() (Expr, error) {
+	if err := p.expectSymbol("<"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if nameTok.kind != tokIdent {
+		return nil, p.lex.errf(nameTok.pos, "expected element name after '<'")
+	}
+	return p.parseElementRest(nameTok.text)
+}
+
+// parseElementRest parses attributes and content of an element constructor
+// whose '<name' has already been consumed.
+func (p *parser) parseElementRest(name string) (Expr, error) {
+	el := &ElementCtor{Name: name}
+	// Attributes until '>' or '/>'.
+	for {
+		t, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokSymbol && t.text == ">" {
+			_, _ = p.lex.next()
+			break
+		}
+		if t.kind == tokSymbol && t.text == "/" {
+			_, _ = p.lex.next()
+			if err := p.expectSymbol(">"); err != nil {
+				return nil, err
+			}
+			return el, nil
+		}
+		if t.kind != tokIdent {
+			return nil, p.lex.errf(t.pos, "expected attribute name or '>' in element constructor, found %q", t.text)
+		}
+		_, _ = p.lex.next()
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseAttrValue()
+		if err != nil {
+			return nil, err
+		}
+		el.Attrs = append(el.Attrs, AttrCtor{Name: t.text, Value: val})
+	}
+	// Content: raw text interleaved with {expr} and nested constructors,
+	// until </name>.
+	for {
+		text, stop, err := p.lex.readRawUntil("{", "</", "<")
+		if err != nil {
+			return nil, err
+		}
+		if trimmed := strings.TrimSpace(text); trimmed != "" {
+			el.Content = append(el.Content, &StringLit{Value: trimmed})
+		}
+		switch stop {
+		case "</":
+			endTok, err := p.lex.next()
+			if err != nil {
+				return nil, err
+			}
+			if endTok.kind != tokIdent || endTok.text != el.Name {
+				return nil, p.lex.errf(endTok.pos, "mismatched closing tag </%s> for <%s>", endTok.text, el.Name)
+			}
+			if err := p.expectSymbol(">"); err != nil {
+				return nil, err
+			}
+			return el, nil
+		case "<":
+			nameTok, err := p.lex.next()
+			if err != nil {
+				return nil, err
+			}
+			if nameTok.kind != tokIdent {
+				return nil, p.lex.errf(nameTok.pos, "expected element name after '<' in content")
+			}
+			child, err := p.parseElementRest(nameTok.text)
+			if err != nil {
+				return nil, err
+			}
+			el.Content = append(el.Content, child)
+		default: // "{"
+			inner, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("}"); err != nil {
+				return nil, err
+			}
+			el.Content = append(el.Content, inner)
+		}
+	}
+}
+
+// parseAttrValue parses a constructed attribute value: a quoted string that
+// may contain {expr} interpolations. For simplicity the common forms are a
+// plain string or a single embedded expression.
+func (p *parser) parseAttrValue() (Expr, error) {
+	t, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokString {
+		return nil, p.lex.errf(t.pos, "expected quoted attribute value")
+	}
+	s := t.text
+	if !strings.Contains(s, "{") {
+		return &StringLit{Value: s}, nil
+	}
+	// Interpolate: split on {...} runs.
+	var parts []Expr
+	for {
+		i := strings.Index(s, "{")
+		if i < 0 {
+			if s != "" {
+				parts = append(parts, &StringLit{Value: s})
+			}
+			break
+		}
+		if i > 0 {
+			parts = append(parts, &StringLit{Value: s[:i]})
+		}
+		j := strings.Index(s[i:], "}")
+		if j < 0 {
+			return nil, fmt.Errorf("xquery: unterminated '{' in attribute value %q", t.text)
+		}
+		inner, err := Parse(s[i+1 : i+j])
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, inner)
+		s = s[i+j+1:]
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &FuncCall{Name: "concat", Args: parts}, nil
+}

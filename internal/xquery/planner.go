@@ -1,0 +1,387 @@
+package xquery
+
+import (
+	"nalix/internal/xmldb"
+)
+
+// splitConjuncts flattens a where expression into and-connected conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if l, ok := e.(*Logical); ok && l.Op == OpAnd {
+		return append(splitConjuncts(l.Left), splitConjuncts(l.Right)...)
+	}
+	return []Expr{e}
+}
+
+// freeVars returns the variable names an expression references that are
+// not bound within the expression itself.
+func freeVars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectFree(e, map[string]bool{}, out)
+	return out
+}
+
+func collectFree(e Expr, bound map[string]bool, out map[string]bool) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *VarRef:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case *FLWOR:
+		inner := copyBound(bound)
+		for _, cl := range x.Clauses {
+			collectFree(cl.Source, inner, out)
+			inner[cl.Var] = true
+		}
+		collectFree(x.Where, inner, out)
+		for _, o := range x.OrderBy {
+			collectFree(o.Key, inner, out)
+		}
+		collectFree(x.Return, inner, out)
+	case *Quantified:
+		collectFree(x.In, bound, out)
+		inner := copyBound(bound)
+		inner[x.Var] = true
+		collectFree(x.Satisfies, inner, out)
+	case *PathExpr:
+		collectFree(x.Root, bound, out)
+	case *Comparison:
+		collectFree(x.Left, bound, out)
+		collectFree(x.Right, bound, out)
+	case *Logical:
+		collectFree(x.Left, bound, out)
+		collectFree(x.Right, bound, out)
+	case *Arith:
+		collectFree(x.Left, bound, out)
+		collectFree(x.Right, bound, out)
+	case *FuncCall:
+		for _, a := range x.Args {
+			collectFree(a, bound, out)
+		}
+	case *SeqExpr:
+		for _, it := range x.Items {
+			collectFree(it, bound, out)
+		}
+	case *ElementCtor:
+		for _, a := range x.Attrs {
+			collectFree(a.Value, bound, out)
+		}
+		for _, c := range x.Content {
+			collectFree(c, bound, out)
+		}
+	}
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// labelDomain recognizes a for-source of the shape doc//label (optionally
+// doc("name")//label) and returns the document and label.
+func (e *Engine) labelDomain(src Expr) (*xmldb.Document, string, bool) {
+	p, ok := src.(*PathExpr)
+	if !ok || len(p.Steps) != 1 || !p.Steps[0].Descendant || p.Steps[0].Name == "*" {
+		return nil, "", false
+	}
+	root := p.Root
+	if root == nil {
+		root = &DocRef{}
+	}
+	d, ok := root.(*DocRef)
+	if !ok {
+		return nil, "", false
+	}
+	doc, ok := e.Document(d.Name)
+	if !ok {
+		return nil, "", false
+	}
+	return doc, p.Steps[0].Name, true
+}
+
+// equalityCandidates inspects the conjuncts for an equality between the
+// variable being bound and a literal or an already-bound variable, and
+// answers the binding domain from the document's value index when one is
+// found. The equality conjunct itself is still evaluated afterwards, so
+// this is purely a (sound and complete) domain restriction: the index
+// returns exactly the label nodes with the matching normalized value.
+func (e *Engine) equalityCandidates(doc *xmldb.Document, label, varName string, cur *env, conjuncts []Expr) (Sequence, bool) {
+	for _, c := range conjuncts {
+		cmp, ok := c.(*Comparison)
+		if !ok || cmp.Op != OpEq {
+			continue
+		}
+		var other Expr
+		if v, isVar := cmp.Left.(*VarRef); isVar && v.Name == varName {
+			other = cmp.Right
+		} else if v, isVar := cmp.Right.(*VarRef); isVar && v.Name == varName {
+			other = cmp.Left
+		} else {
+			continue
+		}
+		var value string
+		switch o := other.(type) {
+		case *StringLit:
+			value = o.Value
+		case *NumberLit:
+			value = FormatNumber(o.Value)
+		case *VarRef:
+			val, bound := cur.lookup(o.Name)
+			if !bound || len(val) != 1 {
+				continue
+			}
+			value = AtomizeItem(val[0])
+		default:
+			continue
+		}
+		nodes := doc.NodesByLabelValue(label, value)
+		out := make(Sequence, 0, len(nodes))
+		for _, n := range nodes {
+			out = append(out, NodeItem{n})
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// orderClauses computes an evaluation order for the FLWOR clauses: a
+// permutation that binds selective variables first (literal equality →
+// connected to an already-bound variable via mqf or equality → the rest),
+// while never moving a clause before the clauses that bind its free
+// variables. Result order is unaffected because the tuple stream is only
+// consumed by where/return evaluation, except that for-clause order
+// determines tuple enumeration order — so reordering is applied only when
+// the FLWOR has no order-sensitive result (a single for-clause keeps its
+// position, and clauses appear in bound-dependency order).
+func orderClauses(e *Engine, f *FLWOR, env0 *env, conjuncts []Expr) []int {
+	n := len(f.Clauses)
+	perm := make([]int, 0, n)
+	// Reorder only when every for-clause ranges over a label domain
+	// (node bindings): document-order restoration keys exist only for
+	// nodes, so atomic domains (distinct-values, literals) must keep
+	// their author-written enumeration order.
+	identity := func() []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	for _, cl := range f.Clauses {
+		if cl.Kind != ForClause {
+			continue
+		}
+		if _, _, ok := e.labelDomain(cl.Source); !ok {
+			return identity()
+		}
+	}
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	free := make([]map[string]bool, n)
+	for i, cl := range f.Clauses {
+		free[i] = freeVars(cl.Source)
+	}
+	isBound := func(v string) bool {
+		if bound[v] {
+			return true
+		}
+		_, ok := env0.lookup(v)
+		return ok
+	}
+	admissible := func(i int) bool {
+		for v := range free[i] {
+			if !isBound(v) {
+				return false
+			}
+		}
+		return true
+	}
+	hasLiteralEq := func(varName string) bool {
+		for _, c := range conjuncts {
+			cmp, ok := c.(*Comparison)
+			if !ok || cmp.Op != OpEq {
+				continue
+			}
+			l, lv := cmp.Left.(*VarRef)
+			r, rv := cmp.Right.(*VarRef)
+			switch {
+			case lv && l.Name == varName && isLiteral(cmp.Right):
+				return true
+			case rv && r.Name == varName && isLiteral(cmp.Left):
+				return true
+			}
+		}
+		return false
+	}
+	connected := func(varName string) bool {
+		for _, c := range conjuncts {
+			switch x := c.(type) {
+			case *FuncCall:
+				if x.Name != "mqf" {
+					continue
+				}
+				mentions, anyBound := false, false
+				for _, a := range x.Args {
+					if v, ok := a.(*VarRef); ok {
+						if v.Name == varName {
+							mentions = true
+						} else if isBound(v.Name) {
+							anyBound = true
+						}
+					}
+				}
+				if mentions && anyBound {
+					return true
+				}
+			case *Comparison:
+				if x.Op != OpEq {
+					continue
+				}
+				l, lok := x.Left.(*VarRef)
+				r, rok := x.Right.(*VarRef)
+				if lok && rok {
+					if (l.Name == varName && isBound(r.Name)) ||
+						(r.Name == varName && isBound(l.Name)) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for len(perm) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] || !admissible(i) {
+				continue
+			}
+			score := 0
+			if f.Clauses[i].Kind == ForClause {
+				if hasLiteralEq(f.Clauses[i].Var) {
+					score = 3
+				} else if connected(f.Clauses[i].Var) {
+					score = 2
+				} else {
+					score = 1
+				}
+			}
+			// Lets score 0: evaluate them as late as their dependencies
+			// allow, after the variables they reference are selective.
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			// Unbound free variables (will surface as an eval error):
+			// fall back to the remaining original order.
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					perm = append(perm, i)
+					used[i] = true
+				}
+			}
+			break
+		}
+		perm = append(perm, best)
+		used[best] = true
+		bound[f.Clauses[best].Var] = true
+	}
+	return perm
+}
+
+func isLiteral(e Expr) bool {
+	switch e.(type) {
+	case *StringLit, *NumberLit:
+		return true
+	}
+	return false
+}
+
+// forDomain produces the binding sequence for for-clause i, using mqf()
+// conjuncts to prune the domain to nodes structurally related to already
+// bound variables. Falls back to plain evaluation (with caching for
+// environment-independent sources).
+func (e *Engine) forDomain(f *FLWOR, i int, cur *env, env0 *env, conjuncts []Expr, cache map[int]Sequence) (Sequence, error) {
+	cl := f.Clauses[i]
+	if e.DisablePlanner {
+		return e.eval(cl.Source, cur)
+	}
+	doc, label, ok := e.labelDomain(cl.Source)
+	if ok {
+		// Equality pushdown: a conjunct $x = <constant or bound var>
+		// turns the domain scan into a value-index lookup.
+		if seq, hit := e.equalityCandidates(doc, label, cl.Var, cur, conjuncts); hit {
+			return seq, nil
+		}
+	}
+	if ok && !e.MQFDisabled {
+		// Find an mqf conjunct joining cl.Var with an already-bound
+		// variable holding a node of the same document.
+		checker := e.checkers[doc.Name]
+		var partners []*xmldb.Node
+		for _, c := range conjuncts {
+			call, isCall := c.(*FuncCall)
+			if !isCall || call.Name != "mqf" {
+				continue
+			}
+			mentions := false
+			var bound []*xmldb.Node
+			for _, a := range call.Args {
+				v, isVar := a.(*VarRef)
+				if !isVar {
+					continue
+				}
+				if v.Name == cl.Var {
+					mentions = true
+					continue
+				}
+				if val, okv := cur.lookup(v.Name); okv && len(val) == 1 {
+					if ni, okn := val[0].(NodeItem); okn && e.docForNode(ni.Node) == doc {
+						bound = append(bound, ni.Node)
+					}
+				}
+			}
+			if mentions && len(bound) > 0 {
+				partners = bound
+				break
+			}
+		}
+		if len(partners) > 0 {
+			cands := checker.RelatedCandidates(partners[0], label)
+			var out Sequence
+			for _, cand := range cands {
+				ok := true
+				for _, p := range partners[1:] {
+					if !checker.Related(p, cand) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, NodeItem{cand})
+				}
+			}
+			return out, nil
+		}
+	}
+	// Environment-independent source: evaluate once and cache.
+	if len(freeVars(cl.Source)) == 0 {
+		if seq, ok := cache[i]; ok {
+			return seq, nil
+		}
+		seq, err := e.eval(cl.Source, cur)
+		if err != nil {
+			return nil, err
+		}
+		cache[i] = seq
+		return seq, nil
+	}
+	return e.eval(cl.Source, cur)
+}

@@ -1,0 +1,251 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an AST back to canonical XQuery text with one clause per
+// line and two-space indentation for nested FLWORs, the format NaLIX shows
+// to users and the golden tests compare against.
+func Print(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e, 0, true)
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+// printExpr writes e; topLevel selects the multi-line clause layout for
+// FLWOR expressions.
+func printExpr(sb *strings.Builder, e Expr, depth int, topLevel bool) {
+	switch x := e.(type) {
+	case *FLWOR:
+		printFLWOR(sb, x, depth, topLevel)
+	case *DocRef:
+		if x.Name == "" {
+			sb.WriteString("doc")
+		} else {
+			fmt.Fprintf(sb, "doc(%q)", x.Name)
+		}
+	case *VarRef:
+		sb.WriteString("$" + x.Name)
+	case *StringLit:
+		fmt.Fprintf(sb, "%q", x.Value)
+	case *NumberLit:
+		sb.WriteString(FormatNumber(x.Value))
+	case *PathExpr:
+		if x.Root != nil {
+			printExpr(sb, x.Root, depth, false)
+		}
+		for _, st := range x.Steps {
+			if st.Descendant {
+				sb.WriteString("//")
+			} else {
+				sb.WriteString("/")
+			}
+			sb.WriteString(st.Name)
+		}
+	case *Comparison:
+		// Comparisons do not chain in the grammar, so comparison (or
+		// looser) operands are parenthesized.
+		printOperand(sb, x.Left, depth, precCmp, true)
+		sb.WriteString(" " + x.Op.String() + " ")
+		printOperand(sb, x.Right, depth, precCmp, true)
+	case *Logical:
+		// Disjunctions inside conjunctions (and any looser operand)
+		// print parenthesized so the canonical text reparses with the
+		// same precedence.
+		p := precOf(x)
+		printOperand(sb, x.Left, depth, p, false)
+		sb.WriteString(" " + x.Op.String() + " ")
+		printOperand(sb, x.Right, depth, p, false)
+	case *Arith:
+		p := precOf(x)
+		printOperand(sb, x.Left, depth, p, false)
+		sb.WriteString(" " + x.Op.String() + " ")
+		// Subtraction and division are not associative: equal-precedence
+		// right operands keep their parentheses.
+		printOperand(sb, x.Right, depth, p, true)
+	case *FuncCall:
+		sb.WriteString(x.Name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, a, depth, false)
+		}
+		sb.WriteString(")")
+	case *Quantified:
+		if x.Every {
+			sb.WriteString("every ")
+		} else {
+			sb.WriteString("some ")
+		}
+		fmt.Fprintf(sb, "$%s in ", x.Var)
+		printExpr(sb, x.In, depth, false)
+		sb.WriteString(" satisfies ")
+		printExpr(sb, x.Satisfies, depth, false)
+	case *SeqExpr:
+		sb.WriteString("(")
+		for i, it := range x.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, it, depth, false)
+		}
+		sb.WriteString(")")
+	case *ElementCtor:
+		sb.WriteString("<" + x.Name)
+		for _, a := range x.Attrs {
+			sb.WriteString(" " + a.Name + "=\"")
+			if lit, ok := a.Value.(*StringLit); ok {
+				sb.WriteString(lit.Value)
+			} else {
+				sb.WriteString("{")
+				printExpr(sb, a.Value, depth, false)
+				sb.WriteString("}")
+			}
+			sb.WriteString("\"")
+		}
+		sb.WriteString(">")
+		for _, c := range x.Content {
+			switch cv := c.(type) {
+			case *StringLit:
+				sb.WriteString(cv.Value)
+			case *ElementCtor:
+				printExpr(sb, cv, depth, false)
+			default:
+				sb.WriteString("{ ")
+				printExpr(sb, c, depth, false)
+				sb.WriteString(" }")
+			}
+		}
+		sb.WriteString("</" + x.Name + ">")
+	default:
+		fmt.Fprintf(sb, "«%T»", e)
+	}
+}
+
+// Operator precedence levels for parenthesization.
+const (
+	precQuant = 0 // quantified expressions swallow trailing operators
+	precOr    = 1
+	precAnd   = 2
+	precCmp   = 3
+	precAdd   = 4
+	precMul   = 5
+	precAtom  = 9
+)
+
+func precOf(e Expr) int {
+	switch x := e.(type) {
+	case *Quantified:
+		return precQuant
+	case *Logical:
+		if x.Op == OpOr {
+			return precOr
+		}
+		return precAnd
+	case *Comparison:
+		return precCmp
+	case *Arith:
+		if x.Op == OpAdd || x.Op == OpSub {
+			return precAdd
+		}
+		return precMul
+	default:
+		return precAtom
+	}
+}
+
+// printOperand prints a sub-expression of an infix operator, adding
+// parentheses when the child binds as loosely as (inclusive=true) or more
+// loosely than the parent.
+func printOperand(sb *strings.Builder, e Expr, depth, parentPrec int, inclusive bool) {
+	p := precOf(e)
+	need := p < parentPrec || (inclusive && p == parentPrec)
+	if need {
+		sb.WriteString("(")
+	}
+	printExpr(sb, e, depth, false)
+	if need {
+		sb.WriteString(")")
+	}
+}
+
+func printFLWOR(sb *strings.Builder, f *FLWOR, depth int, topLevel bool) {
+	if !topLevel {
+		// Nested FLWOR: brace block, indented.
+		sb.WriteString("{\n")
+		printClauses(sb, f, depth+1)
+		indent(sb, depth)
+		sb.WriteString("}")
+		return
+	}
+	printClauses(sb, f, depth)
+}
+
+func printClauses(sb *strings.Builder, f *FLWOR, depth int) {
+	// Group consecutive same-kind clauses on one keyword, the way the
+	// paper formats Fig. 9.
+	i := 0
+	for i < len(f.Clauses) {
+		kind := f.Clauses[i].Kind
+		j := i
+		for j < len(f.Clauses) && f.Clauses[j].Kind == kind {
+			j++
+		}
+		indent(sb, depth)
+		if kind == ForClause {
+			sb.WriteString("for ")
+		} else {
+			sb.WriteString("let ")
+		}
+		for k := i; k < j; k++ {
+			if k > i {
+				sb.WriteString(",\n")
+				indent(sb, depth)
+				sb.WriteString("    ")
+			}
+			cl := f.Clauses[k]
+			sb.WriteString("$" + cl.Var)
+			if kind == ForClause {
+				sb.WriteString(" in ")
+			} else {
+				sb.WriteString(" := ")
+			}
+			printExpr(sb, cl.Source, depth, false)
+		}
+		sb.WriteString("\n")
+		i = j
+	}
+	if f.Where != nil {
+		indent(sb, depth)
+		sb.WriteString("where ")
+		printExpr(sb, f.Where, depth, false)
+		sb.WriteString("\n")
+	}
+	if len(f.OrderBy) > 0 {
+		indent(sb, depth)
+		sb.WriteString("order by ")
+		for i, spec := range f.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printExpr(sb, spec.Key, depth, false)
+			if spec.Descending {
+				sb.WriteString(" descending")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	indent(sb, depth)
+	sb.WriteString("return ")
+	printExpr(sb, f.Return, depth, false)
+	sb.WriteString("\n")
+}

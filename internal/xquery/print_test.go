@@ -1,0 +1,167 @@
+package xquery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomExpr generates a random AST from the grammar the printer and
+// parser share, for round-trip property testing.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &StringLit{Value: "v" + string(rune('a'+rng.Intn(26)))}
+		case 1:
+			return &NumberLit{Value: float64(rng.Intn(2000))}
+		case 2:
+			return &VarRef{Name: "x" + string(rune('a'+rng.Intn(4)))}
+		default:
+			return &PathExpr{
+				Root:  &DocRef{Name: "d.xml"},
+				Steps: []Step{{Descendant: true, Name: "e" + string(rune('a'+rng.Intn(4)))}},
+			}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return &Comparison{
+			Op:   CmpOp(rng.Intn(6)),
+			Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1),
+		}
+	case 1:
+		return &Logical{
+			Op:   LogicOp(rng.Intn(2)),
+			Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1),
+		}
+	case 2:
+		names := []string{"count", "not", "exists", "min", "max"}
+		return &FuncCall{
+			Name: names[rng.Intn(len(names))],
+			Args: []Expr{randomExpr(rng, depth-1)},
+		}
+	case 3:
+		return &Quantified{
+			Every: rng.Intn(2) == 0,
+			Var:   "q" + string(rune('a'+rng.Intn(3))),
+			In: &PathExpr{Root: &DocRef{Name: "d.xml"},
+				Steps: []Step{{Descendant: true, Name: "e"}}},
+			Satisfies: &Comparison{Op: OpEq,
+				Left:  &VarRef{Name: "q" + string(rune('a'+rng.Intn(3)))},
+				Right: randomExpr(rng, 0)},
+		}
+	case 4:
+		f := &FLWOR{
+			Clauses: []Clause{{Kind: ForClause, Var: "f" + string(rune('a'+rng.Intn(3))),
+				Source: &PathExpr{Root: &DocRef{Name: "d.xml"},
+					Steps: []Step{{Descendant: true, Name: "e"}}}}},
+			Return: randomExpr(rng, depth-1),
+		}
+		if rng.Intn(2) == 0 {
+			f.Where = randomExpr(rng, depth-1)
+		}
+		return f
+	case 5:
+		return &SeqExpr{Items: []Expr{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	default:
+		return randomExpr(rng, 0)
+	}
+}
+
+// TestPrintParseRoundTripProperty: Parse(Print(ast)) produces a tree whose
+// printing is identical to the first printing (print is a canonical form).
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ast := randomExpr(rng, 3)
+		var first Expr = ast
+		if _, isFLWOR := ast.(*FLWOR); !isFLWOR {
+			// Wrap into a FLWOR so the top-level printing contract holds.
+			first = &FLWOR{
+				Clauses: []Clause{{Kind: LetClause, Var: "w", Source: ast}},
+				Return:  &VarRef{Name: "w"},
+			}
+		}
+		printed := Print(first)
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Logf("printed form does not parse: %v\n%s", err, printed)
+			return false
+		}
+		return Print(reparsed) == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrintGoldenFig9Shape(t *testing.T) {
+	// The Fig. 9 layout conventions: multi-binding for on one keyword,
+	// let blocks in braces, two-space indentation.
+	src := `for $v1 in doc("m.xml")//director, $v4 in doc("m.xml")//director
+	let $vars1 := { for $v5 in doc("m.xml")//director, $v2 in doc("m.xml")//movie
+	                where mqf($v2, $v5) and $v5 = $v1 return $v2 }
+	where count($vars1) = 2 and $v4 = "Ron Howard"
+	return $v1`
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Print(ast)
+	want := `for $v1 in doc("m.xml")//director,
+    $v4 in doc("m.xml")//director
+let $vars1 := {
+  for $v5 in doc("m.xml")//director,
+      $v2 in doc("m.xml")//movie
+  where mqf($v2, $v5) and $v5 = $v1
+  return $v2
+}
+where count($vars1) = 2 and $v4 = "Ron Howard"
+return $v1
+`
+	if got != want {
+		t.Errorf("canonical layout drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	cases := []struct {
+		src string
+		ok  bool
+	}{
+		{`"double ""quoted"" escape"`, true},
+		{`'single quoted'`, true},
+		{`(: a comment :) 1`, true},
+		{`1 (: trailing comment`, true}, // unterminated comment swallows rest
+		{`$`, false},
+		{`@`, false},
+		{"\x01", false},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if c.ok && err != nil {
+			t.Errorf("%q: unexpected error %v", c.src, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%q: expected error", c.src)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `(: count the books :) count(doc("bib.xml")//book)`)
+	if values(res)[0] != "4" {
+		t.Errorf("got %v", values(res))
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $b in doc("bib.xml")//book where $b/title = "Data on the Web" return "it ""exists"""`)
+	if len(res) != 1 || !strings.Contains(values(res)[0], `it "exists"`) {
+		t.Errorf("got %v", values(res))
+	}
+}

@@ -1,0 +1,558 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+const moviesXML = `
+<movies>
+  <year>
+    <movie><title>How the Grinch Stole Christmas</title><director>Ron Howard</director></movie>
+    <movie><title>Traffic</title><director>Steven Soderbergh</director></movie>
+    2000
+  </year>
+  <year>
+    <movie><title>A Beautiful Mind</title><director>Ron Howard</director></movie>
+    <movie><title>Tribute</title><director>Steven Soderbergh</director></movie>
+    <movie><title>The Lord of the Rings</title><director>Peter Jackson</director></movie>
+    2001
+  </year>
+</movies>`
+
+const bibXML = `
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>`
+
+func newTestEngine(t testing.TB) *Engine {
+	t.Helper()
+	e := NewEngine()
+	for _, d := range []struct{ name, xml string }{
+		{"movies.xml", moviesXML},
+		{"bib.xml", bibXML},
+	} {
+		doc, err := xmldb.ParseString(d.name, d.xml)
+		if err != nil {
+			t.Fatalf("parse %s: %v", d.name, err)
+		}
+		e.AddDocument(doc)
+	}
+	return e
+}
+
+func runQuery(t testing.TB, e *Engine, q string) Sequence {
+	t.Helper()
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("query failed: %v\nquery:\n%s", err, q)
+	}
+	return res
+}
+
+func values(s Sequence) []string {
+	out := make([]string, len(s))
+	for i, it := range s {
+		out[i] = strings.TrimSpace(AtomizeItem(it))
+	}
+	return out
+}
+
+func TestSimplePath(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $t in doc("movies.xml")//title return $t`)
+	if len(res) != 5 {
+		t.Fatalf("got %d titles, want 5", len(res))
+	}
+	if got := values(res)[0]; got != "How the Grinch Stole Christmas" {
+		t.Errorf("first title = %q", got)
+	}
+}
+
+func TestDefaultDocumentPaths(t *testing.T) {
+	e := newTestEngine(t)
+	for _, q := range []string{
+		`for $t in doc//title return $t`,
+		`for $t in //title return $t`,
+	} {
+		if got := len(runQuery(t, e, q)); got != 5 {
+			t.Errorf("%s: got %d, want 5", q, got)
+		}
+	}
+}
+
+func TestChildVsDescendantAxis(t *testing.T) {
+	e := newTestEngine(t)
+	if got := len(runQuery(t, e, `for $m in doc("movies.xml")/movies/year/movie return $m`)); got != 5 {
+		t.Errorf("child-axis movies = %d, want 5", got)
+	}
+	if got := len(runQuery(t, e, `for $m in doc("movies.xml")/movie return $m`)); got != 0 {
+		t.Errorf("movie as direct child of document = %d, want 0", got)
+	}
+	if got := len(runQuery(t, e, `for $x in doc("bib.xml")//book/title return $x`)); got != 4 {
+		t.Errorf("book/title = %d, want 4", got)
+	}
+}
+
+func TestAttributeAsNode(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $y in doc("bib.xml")//year where $y > 1993 return $y`)
+	if len(res) != 3 {
+		t.Fatalf("years > 1993 = %d, want 3 (1994, 2000, 1999)", len(res))
+	}
+	res = runQuery(t, e, `for $b in doc("bib.xml")//book where $b/year = 1994 return $b/title`)
+	if got := values(res); len(got) != 1 || got[0] != "TCP/IP Illustrated" {
+		t.Errorf("book@1994 title = %v", got)
+	}
+}
+
+func TestWhereValuePredicate(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `
+		for $m in doc("movies.xml")//movie
+		where $m/director = "Ron Howard"
+		return $m/title`)
+	got := values(res)
+	want := []string{"How the Grinch Stole Christmas", "A Beautiful Mind"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Ron Howard titles = %v, want %v", got, want)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`for $b in doc("bib.xml")//book where $b/price > 65 return $b`, 3},
+		{`for $b in doc("bib.xml")//book where $b/price >= 65.95 return $b`, 3},
+		{`for $b in doc("bib.xml")//book where $b/price < 40 return $b`, 1},
+		{`for $b in doc("bib.xml")//book where $b/price != 65.95 return $b`, 2},
+		{`for $b in doc("bib.xml")//book where $b/year = "1992" return $b`, 1},
+		{`for $b in doc("bib.xml")//book where $b/title = "data on the web" return $b`, 1},
+	}
+	for _, c := range cases {
+		if got := len(runQuery(t, e, c.q)); got != c.want {
+			t.Errorf("%s: got %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $b in doc("bib.xml")//book
+	      where $b/publisher = "Addison-Wesley" and $b/year > 1991
+	      return $b/title`
+	if got := len(runQuery(t, e, q)); got != 2 {
+		t.Errorf("AW after 1991 = %d, want 2", got)
+	}
+	q = `for $b in doc("bib.xml")//book
+	     where $b/year = 1992 or $b/year = 2000
+	     return $b`
+	if got := len(runQuery(t, e, q)); got != 2 {
+		t.Errorf("or = %d, want 2", got)
+	}
+	q = `for $b in doc("bib.xml")//book
+	     where not($b/publisher = "Addison-Wesley")
+	     return $b`
+	if got := len(runQuery(t, e, q)); got != 2 {
+		t.Errorf("not = %d, want 2", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []struct {
+		q, want string
+	}{
+		{`count(doc("bib.xml")//book)`, "4"},
+		{`min(doc("bib.xml")//price)`, "39.95"},
+		{`max(doc("bib.xml")//price)`, "129.95"},
+		{`sum(doc("bib.xml")//price)`, "301.8"},
+		{`avg(doc("bib.xml")//price)`, "75.45"},
+		{`count(doc("bib.xml")//isbn)`, "0"},
+		{`min(doc("movies.xml")//title)`, "A Beautiful Mind"},
+	}
+	for _, c := range cases {
+		res := runQuery(t, e, c.q)
+		if len(res) != 1 || values(res)[0] != c.want {
+			t.Errorf("%s = %v, want %s", c.q, values(res), c.want)
+		}
+	}
+}
+
+func TestLetAndNestedFLWOR(t *testing.T) {
+	e := newTestEngine(t)
+	q := `
+	for $d in distinct-values(doc("movies.xml")//director)
+	let $ms := { for $m in doc("movies.xml")//movie where $m/director = $d return $m }
+	where count($ms) >= 2
+	return $d`
+	got := values(runQuery(t, e, q))
+	if len(got) != 2 {
+		t.Fatalf("directors with >=2 movies = %v, want 2 entries", got)
+	}
+	want := map[string]bool{"Ron Howard": true, "Steven Soderbergh": true}
+	for _, d := range got {
+		if !want[d] {
+			t.Errorf("unexpected director %q", d)
+		}
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `
+		for $b in doc("bib.xml")//book
+		order by $b/title
+		return $b/title`)
+	got := values(res)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Errorf("titles not sorted: %q > %q", got[i-1], got[i])
+		}
+	}
+	res = runQuery(t, e, `
+		for $b in doc("bib.xml")//book
+		order by $b/price descending
+		return $b/price`)
+	got = values(res)
+	if got[0] != "129.95" || got[len(got)-1] != "39.95" {
+		t.Errorf("descending price order = %v", got)
+	}
+	// Numeric ordering, not lexicographic: 39.95 < 129.95 numerically.
+	res = runQuery(t, e, `
+		for $b in doc("bib.xml")//book
+		order by $b/price
+		return $b/price`)
+	if got := values(res); got[0] != "39.95" {
+		t.Errorf("ascending numeric order starts with %v", got[0])
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $b in doc("bib.xml")//book
+	      where some $a in $b/author satisfies $a/last = "Suciu"
+	      return $b/title`
+	if got := values(runQuery(t, e, q)); len(got) != 1 || got[0] != "Data on the Web" {
+		t.Errorf("some-quantifier = %v", got)
+	}
+	q = `for $b in doc("bib.xml")//book
+	     where every $a in $b/author satisfies $a/last = "Stevens"
+	     return $b`
+	// Vacuously true for the editor-only book too: 3 books.
+	if got := len(runQuery(t, e, q)); got != 3 {
+		t.Errorf("every-quantifier = %d, want 3", got)
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $t in doc("bib.xml")//title where contains($t, "web") return $t`
+	if got := len(runQuery(t, e, q)); got != 1 {
+		t.Errorf("contains = %d, want 1", got)
+	}
+	q = `for $t in doc("bib.xml")//title where starts-with($t, "tcp") return $t`
+	if got := len(runQuery(t, e, q)); got != 1 {
+		t.Errorf("starts-with = %d, want 1", got)
+	}
+	q = `for $e in doc("bib.xml")//book/* where ends-with(name($e), "or") return name($e)`
+	got := values(runQuery(t, e, q))
+	for _, n := range got {
+		if !strings.HasSuffix(n, "or") {
+			t.Errorf("name %q does not end with 'or'", n)
+		}
+	}
+	if len(got) != 6 {
+		t.Errorf("elements ending in 'or' = %d (%v), want 6 (5 author + 1 editor)", len(got), got)
+	}
+}
+
+func TestMQFInWhere(t *testing.T) {
+	e := newTestEngine(t)
+	// The canonical Schema-Free XQuery pattern from the paper.
+	q := `for $d in doc("movies.xml")//director, $t in doc("movies.xml")//title
+	      where mqf($d, $t) and $d = "Peter Jackson"
+	      return $t`
+	got := values(runQuery(t, e, q))
+	if len(got) != 1 || got[0] != "The Lord of the Rings" {
+		t.Errorf("mqf join = %v, want [The Lord of the Rings]", got)
+	}
+	// Without mqf, the cross product returns all 5 titles.
+	q = `for $d in doc("movies.xml")//director, $t in doc("movies.xml")//title
+	     where $d = "Peter Jackson"
+	     return $t`
+	if got := len(runQuery(t, e, q)); got != 5 {
+		t.Errorf("cross product = %d, want 5", got)
+	}
+}
+
+// TestFig9Query2 runs the paper's full translation of Query 2 (Fig. 9):
+// "Return every director, where the number of movies directed by the
+// director is the same as the number of movies directed by Ron Howard."
+// Ron Howard directed 2 movies; so did Steven Soderbergh. Each Ron Howard
+// node also matches itself, so the expected directors are every director
+// node with count 2: both Ron Howard nodes and both Soderbergh nodes.
+func TestFig9Query2(t *testing.T) {
+	e := newTestEngine(t)
+	q := `
+	for $v1 in doc("movies.xml")//director, $v4 in doc("movies.xml")//director
+	let $vars1 := {
+	  for $v5 in doc("movies.xml")//director, $v2 in doc("movies.xml")//movie
+	  where mqf($v2, $v5) and $v5 = $v1
+	  return $v2
+	}
+	let $vars2 := {
+	  for $v6 in doc("movies.xml")//director, $v3 in doc("movies.xml")//movie
+	  where mqf($v3, $v6) and $v6 = $v4
+	  return $v3
+	}
+	where count($vars1) = count($vars2) and $v4 = "Ron Howard"
+	return $v1`
+	got := values(runQuery(t, e, q))
+	counts := map[string]int{}
+	for _, d := range got {
+		counts[d]++
+	}
+	// $v4 ranges over the 2 Ron Howard nodes; for each, $v1 matches all 4
+	// directors with count 2 → each name appears 4 times.
+	if counts["Ron Howard"] != 4 || counts["Steven Soderbergh"] != 4 {
+		t.Errorf("director multiset = %v, want Ron Howard:4 Steven Soderbergh:4", counts)
+	}
+	if counts["Peter Jackson"] != 0 {
+		t.Errorf("Peter Jackson should not appear (1 movie != 2)")
+	}
+}
+
+func TestElementConstructor(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $b in doc("bib.xml")//book
+	      where $b/year > 1991 and $b/publisher = "Addison-Wesley"
+	      return <book year="{$b/year}">{ $b/title }</book>`
+	res := runQuery(t, e, q)
+	if len(res) != 2 {
+		t.Fatalf("constructed books = %d, want 2 (1992 and 1994)", len(res))
+	}
+	n, ok := res[0].(NodeItem)
+	if !ok {
+		t.Fatalf("result is not a node")
+	}
+	s := xmldb.SerializeString(n.Node)
+	if !strings.Contains(s, `year="1994"`) || !strings.Contains(s, "<title>TCP/IP Illustrated</title>") {
+		t.Errorf("constructed element = %s", s)
+	}
+}
+
+func TestNestedConstructor(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $b in doc("bib.xml")//book
+	      return <result><t>{ $b/title }</t><n>{ count($b/author) }</n></result>`
+	res := runQuery(t, e, q)
+	if len(res) != 4 {
+		t.Fatalf("results = %d, want 4", len(res))
+	}
+	s := xmldb.SerializeString(res[2].(NodeItem).Node)
+	if !strings.Contains(s, "<n>3</n>") {
+		t.Errorf("third book should have 3 authors: %s", s)
+	}
+}
+
+func TestPathOverConstructedNodes(t *testing.T) {
+	e := newTestEngine(t)
+	q := `let $r := <result><x>1</x><x>2</x></result>
+	      return count($r//x)`
+	res := runQuery(t, e, q)
+	if len(res) != 1 || values(res)[0] != "2" {
+		t.Errorf("count over constructed = %v, want 2", values(res))
+	}
+}
+
+func TestSequenceExpr(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $b in doc("bib.xml")//book where $b/year = 1994 return ($b/title, $b/price)`)
+	if len(res) != 2 {
+		t.Errorf("sequence return = %d items, want 2", len(res))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []struct{ q, want string }{
+		{`1 + 2 * 3`, "7"},
+		{`(1 + 2) * 3`, "9"},
+		{`10 div 4`, "2.5"},
+		{`10 mod 4`, "2"},
+		{`count(doc("bib.xml")//book) - 1`, "3"},
+	}
+	for _, c := range cases {
+		if got := values(runQuery(t, e, c.q)); len(got) != 1 || got[0] != c.want {
+			t.Errorf("%s = %v, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []string{
+		`for $b in doc("missing.xml")//book return $b`,
+		`$undefined`,
+		`for $b in doc("bib.xml")//book return $nope`,
+		`frobnicate(1)`,
+		`1 div 0`,
+		`sum(doc("bib.xml")//title)`,
+		`mqf("a", "b")`,
+	}
+	for _, q := range cases {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("%s: expected error, got none", q)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`for`,
+		`for $x return $x`,
+		`for $x in doc("a")//b`,
+		`for $x in doc("a")//b return`,
+		`let $x = 3 return $x`,
+		`for $x in doc("a")// return $x`,
+		`"unterminated`,
+		`for $x in doc(bad)//y return $x`,
+		`some $x doc("a")//b satisfies $x`,
+		`<a>{ $x </a>`,
+		`<a></b>`,
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q: expected parse error, got none", q)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	queries := []string{
+		`for $b in doc("bib.xml")//book where $b/year > 1991 order by $b/title return $b/title`,
+		`for $d in doc("movies.xml")//director let $c := { for $m in doc("movies.xml")//movie where mqf($m, $d) return $m } where count($c) >= 2 return $d`,
+		`for $b in doc("bib.xml")//book where some $a in $b/author satisfies $a/last = "Suciu" return <r>{ $b/title }</r>`,
+		`every $x in doc("bib.xml")//year satisfies $x > 1900`,
+		`(1, 2, "three")`,
+		`for $b in doc("bib.xml")//book where not($b/price < 50) and contains($b/title, "Web") return $b`,
+	}
+	for _, q := range queries {
+		ast1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, q)
+		}
+		printed := Print(ast1)
+		ast2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nprinted:\n%s", err, printed)
+		}
+		if p2 := Print(ast2); p2 != printed {
+			t.Errorf("print not stable:\nfirst:\n%s\nsecond:\n%s", printed, p2)
+		}
+	}
+}
+
+func TestPrintedQueryStillEvaluates(t *testing.T) {
+	e := newTestEngine(t)
+	q := `for $b in doc("bib.xml")//book where $b/publisher = "Addison-Wesley" and $b/year > 1991 return $b/title`
+	ast, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := runQuery(t, e, q)
+	res2 := runQuery(t, e, Print(ast))
+	if len(res1) != len(res2) {
+		t.Errorf("printed query result differs: %d vs %d", len(res1), len(res2))
+	}
+}
+
+func TestFlattenValues(t *testing.T) {
+	e := newTestEngine(t)
+	res := runQuery(t, e, `for $b in doc("bib.xml")//book where $b/year = 1994 return $b`)
+	flat := FlattenValues(res)
+	want := map[string]bool{
+		"year=1994":                true,
+		"title=TCP/IP Illustrated": true,
+		"last=Stevens":             true,
+		"first=W.":                 true,
+		"publisher=Addison-Wesley": true,
+		"price=65.95":              true,
+	}
+	if len(flat) != len(want) {
+		t.Errorf("flattened = %v (%d values), want %d", flat, len(flat), len(want))
+	}
+	for _, v := range flat {
+		if !want[v] {
+			t.Errorf("unexpected flattened value %q", v)
+		}
+	}
+	// Atomic items flatten to value=...
+	res = runQuery(t, e, `count(doc("bib.xml")//book)`)
+	if flat := FlattenValues(res); len(flat) != 1 || flat[0] != "value=4" {
+		t.Errorf("atomic flatten = %v", flat)
+	}
+}
+
+func TestEffectiveBool(t *testing.T) {
+	cases := []struct {
+		s    Sequence
+		want bool
+	}{
+		{nil, false},
+		{Sequence{BoolItem{true}}, true},
+		{Sequence{BoolItem{false}}, false},
+		{Sequence{StringItem{""}}, false},
+		{Sequence{StringItem{"x"}}, true},
+		{Sequence{NumberItem{0}}, false},
+		{Sequence{NumberItem{3}}, true},
+	}
+	for i, c := range cases {
+		if got := EffectiveBool(c.s); got != c.want {
+			t.Errorf("case %d: EffectiveBool = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMQFDisabledAblation(t *testing.T) {
+	e := newTestEngine(t)
+	e.MQFDisabled = true
+	q := `for $d in doc("movies.xml")//director, $t in doc("movies.xml")//title
+	      where mqf($d, $t) and $d = "Peter Jackson"
+	      return $t`
+	if got := len(runQuery(t, e, q)); got != 5 {
+		t.Errorf("ablated mqf = %d titles, want 5 (cross product)", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package nalix is a from-scratch Go implementation of NaLIX — the
+// generic natural language query interface for XML databases of Li, Yang
+// and Jagadish (EDBT 2006) — together with every substrate the system
+// needs: an in-memory native XML store, a Schema-Free XQuery engine with
+// the mqf() meaningful-query-focus predicate, a dependency parser for the
+// supported English query grammar, ontology-based term expansion, and a
+// Meet-operator keyword-search baseline.
+//
+// The top-level Engine accepts arbitrary English query sentences. A
+// sentence within the supported grammar is translated into Schema-Free
+// XQuery and evaluated; one outside it is rejected with tailored feedback
+// (error messages with rephrasing suggestions), driving the interactive
+// query formulation loop the paper describes:
+//
+//	e := nalix.New()
+//	e.LoadXMLString("bib.xml", bibXML)
+//	ans, err := e.Ask("", `Find all books published by "Addison-Wesley" after 1991.`)
+//	if ans.Accepted {
+//		fmt.Println(ans.XQuery)      // the translation
+//		fmt.Println(ans.Results)     // serialized result items
+//	} else {
+//		fmt.Println(ans.Feedback[0]) // how to rephrase
+//	}
+package nalix
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nalix/internal/core"
+	"nalix/internal/keyword"
+	"nalix/internal/ontology"
+	"nalix/internal/xmldb"
+	"nalix/internal/xquery"
+)
+
+// Engine is a NaLIX instance: a set of loaded XML documents plus the
+// translation pipeline. It is not safe for concurrent use.
+type Engine struct {
+	xq          *xquery.Engine
+	ont         *ontology.Ontology
+	translators map[string]*core.Translator
+	keywords    map[string]*keyword.Engine
+	defName     string
+}
+
+// New returns an empty engine with the built-in generic thesaurus.
+func New() *Engine {
+	return &Engine{
+		xq:          xquery.NewEngine(),
+		ont:         ontology.New(),
+		translators: make(map[string]*core.Translator),
+		keywords:    make(map[string]*keyword.Engine),
+	}
+}
+
+// LoadXML parses and registers a document under the given name. The first
+// document loaded becomes the default (used when a method's docName is
+// empty).
+func (e *Engine) LoadXML(name string, r io.Reader) error {
+	doc, err := xmldb.Parse(name, r)
+	if err != nil {
+		return err
+	}
+	e.addDoc(doc)
+	return nil
+}
+
+// LoadXMLString is LoadXML over an in-memory string.
+func (e *Engine) LoadXMLString(name, xml string) error {
+	return e.LoadXML(name, strings.NewReader(xml))
+}
+
+func (e *Engine) addDoc(doc *xmldb.Document) {
+	e.xq.AddDocument(doc)
+	e.translators[doc.Name] = core.NewTranslator(doc, e.ont)
+	e.keywords[doc.Name] = keyword.NewEngine(doc)
+	if e.defName == "" {
+		e.defName = doc.Name
+	}
+}
+
+// AddSynonyms extends the term-expansion ontology with a group of
+// domain-specific synonyms (all terms in the group become synonyms of one
+// another), the paper's hook for domain ontologies.
+func (e *Engine) AddSynonyms(terms ...string) {
+	e.ont.AddGroup(terms...)
+}
+
+// Documents lists the loaded document names (default document first).
+func (e *Engine) Documents() []string {
+	var out []string
+	if e.defName != "" {
+		out = append(out, e.defName)
+	}
+	for name := range e.translators {
+		if name != e.defName {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Feedback is one validation message: an error (query rejected, rephrase
+// needed) or a warning (query accepted with a caveat).
+type Feedback struct {
+	// IsError distinguishes rejection errors from advisory warnings.
+	IsError bool
+	// Code identifies the message family ("unknown-term", "no-command",
+	// "unmatched-name", "unmatched-value", "pronoun", ...).
+	Code string
+	// Term is the offending word or phrase, when applicable.
+	Term string
+	// Message explains the problem in user terms.
+	Message string
+	// Suggestion proposes a concrete rephrasing, when one exists.
+	Suggestion string
+}
+
+// String renders the feedback like the interactive CLI does.
+func (f Feedback) String() string {
+	kind := "warning"
+	if f.IsError {
+		kind = "error"
+	}
+	s := fmt.Sprintf("[%s] %s", kind, f.Message)
+	if f.Suggestion != "" {
+		s += " " + f.Suggestion
+	}
+	return s
+}
+
+// Answer is the outcome of asking one English question.
+type Answer struct {
+	// Accepted is true when the sentence was translated (warnings may
+	// still be present); false means it was rejected and Feedback says
+	// how to rephrase.
+	Accepted bool
+	// Feedback holds errors (when rejected) and warnings (always).
+	Feedback []Feedback
+	// ParseTree is the classified dependency parse tree, rendered one
+	// node per line, for display and debugging.
+	ParseTree string
+	// XQuery is the generated Schema-Free XQuery text.
+	XQuery string
+	// Results holds the serialized XML of each result item (empty when
+	// the question was only translated, not evaluated).
+	Results []string
+	// Values holds the flattened element/attribute values of the
+	// results, the representation the paper scores precision and recall
+	// on.
+	Values []string
+	// Bindings describes the Schema-Free XQuery variables the
+	// translation introduced (the paper's Table 3): variable name,
+	// database label, and whether the underlying name token is a core
+	// token or an implicit insertion.
+	Bindings []Binding
+}
+
+// Binding is one row of the variable-binding table.
+type Binding struct {
+	// Var is the variable name without the '$'.
+	Var string
+	// Label is the database element/attribute the variable ranges over.
+	Label string
+	// Core marks core-token variables (Definition 3 of the paper).
+	Core bool
+	// Implicit marks variables created for implicit name tokens
+	// (Definition 11).
+	Implicit bool
+}
+
+// Translate runs the pipeline up to XQuery generation without evaluating
+// the query.
+func (e *Engine) Translate(docName, english string) (*Answer, error) {
+	_, ans, err := e.translate(docName, english)
+	return ans, err
+}
+
+func (e *Engine) translate(docName, english string) (*core.Result, *Answer, error) {
+	if docName == "" {
+		docName = e.defName
+	}
+	tr, ok := e.translators[docName]
+	if !ok {
+		return nil, nil, fmt.Errorf("nalix: document %q not loaded", docName)
+	}
+	res, err := tr.Translate(english)
+	if err != nil {
+		return nil, nil, err
+	}
+	ans := &Answer{
+		Accepted:  res.Valid(),
+		ParseTree: res.Tree.String(),
+		XQuery:    res.XQuery,
+	}
+	for _, b := range res.Bindings {
+		ans.Bindings = append(ans.Bindings, Binding{
+			Var: b.Var, Label: b.Label, Core: b.Core, Implicit: b.Implicit,
+		})
+	}
+	for _, f := range res.Errors {
+		ans.Feedback = append(ans.Feedback, convertFeedback(f, true))
+	}
+	for _, f := range res.Warnings {
+		ans.Feedback = append(ans.Feedback, convertFeedback(f, false))
+	}
+	return res, ans, nil
+}
+
+func convertFeedback(f core.Feedback, isErr bool) Feedback {
+	return Feedback{
+		IsError:    isErr,
+		Code:       f.Code,
+		Term:       f.Term,
+		Message:    f.Message,
+		Suggestion: f.Suggestion,
+	}
+}
+
+// Ask translates an English sentence and, when accepted, evaluates the
+// resulting XQuery against the document.
+func (e *Engine) Ask(docName, english string) (*Answer, error) {
+	res, ans, err := e.translate(docName, english)
+	if err != nil {
+		return nil, err
+	}
+	if !ans.Accepted {
+		return ans, nil
+	}
+	seq, err := e.xq.Eval(res.Query)
+	if err != nil {
+		return nil, fmt.Errorf("nalix: evaluating translation: %w", err)
+	}
+	fill(ans, seq)
+	return ans, nil
+}
+
+// Query evaluates a raw (Schema-Free) XQuery string against the loaded
+// documents and returns the answer (Accepted is always true; ParseTree is
+// empty).
+func (e *Engine) Query(xq string) (*Answer, error) {
+	seq, err := e.xq.Query(xq)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{Accepted: true, XQuery: xq}
+	fill(ans, seq)
+	return ans, nil
+}
+
+func fill(ans *Answer, seq xquery.Sequence) {
+	for _, it := range seq {
+		switch v := it.(type) {
+		case xquery.NodeItem:
+			ans.Results = append(ans.Results, xmldb.SerializeString(v.Node))
+		default:
+			ans.Results = append(ans.Results, xquery.AtomizeItem(it))
+		}
+	}
+	ans.Values = xquery.FlattenValues(seq)
+}
+
+// KeywordSearch runs the baseline keyword interface over a document and
+// returns the serialized meet results — the comparison system of the
+// paper's user study.
+func (e *Engine) KeywordSearch(docName, query string) ([]string, error) {
+	if docName == "" {
+		docName = e.defName
+	}
+	kw, ok := e.keywords[docName]
+	if !ok {
+		return nil, fmt.Errorf("nalix: document %q not loaded", docName)
+	}
+	var out []string
+	for _, hit := range kw.Search(query) {
+		out = append(out, xmldb.SerializeString(hit.Node))
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package nalix
+
+// Smoke tests for the command-line tools and example programs: each is
+// compiled and executed once against a tiny corpus, asserting it exits
+// cleanly and prints the expected landmark. Guarded by -short since each
+// invocation pays a go-build.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runGo(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdNalixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a binary")
+	}
+	out := runGo(t, "./cmd/nalix", "-corpus", "bib",
+		`Find the titles of books published by "Addison-Wesley".`)
+	if !strings.Contains(out, "TCP/IP Illustrated") {
+		t.Errorf("missing result:\n%s", out)
+	}
+	if !strings.Contains(out, "mqf(") {
+		t.Errorf("missing translation:\n%s", out)
+	}
+}
+
+func TestCmdXQSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a binary")
+	}
+	out := runGo(t, "./cmd/xq", "-corpus", "bib", "-values",
+		`count(doc("bib.xml")//book)`)
+	if !strings.Contains(out, "value=4") {
+		t.Errorf("xq output:\n%s", out)
+	}
+}
+
+func TestCmdDblpgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a binary")
+	}
+	out := runGo(t, "./cmd/dblpgen", "-scale", "1")
+	if !strings.Contains(out, "<dblp>") || !strings.Contains(out, "TCP/IP Illustrated") {
+		t.Errorf("dblpgen output missing landmarks (%d bytes)", len(out))
+	}
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs binaries")
+	}
+	cases := []struct{ dir, landmark string }{
+		{"./examples/quickstart", "translated into"},
+		{"./examples/movies", "Ron Howard"},
+		{"./examples/feedback", "accepted; results"},
+		{"./examples/auction", "results; first few"},
+	}
+	for _, c := range cases {
+		out := runGo(t, c.dir)
+		if !strings.Contains(out, c.landmark) {
+			t.Errorf("%s: missing %q:\n%s", c.dir, c.landmark, out)
+		}
+	}
+}
