@@ -1,0 +1,72 @@
+// Command nalixlint runs the repository's custom static-analysis
+// passes (internal/analysis) over the module and exits nonzero when any
+// finding survives. It is part of the verify gate:
+//
+//	go run ./cmd/nalixlint ./...
+//
+// Patterns follow the go tool's convention: a trailing "..." walks
+// directories; bare arguments name single package directories. With no
+// arguments it lints "./...".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nalix/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nalixlint [-list] [packages]\n\npasses:\n")
+		for _, p := range analysis.Passes() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", p.Name, p.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	findings := 0
+	for _, dir := range dirs {
+		unit, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", dir, err))
+		}
+		for _, d := range analysis.RunAll(unit) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "nalixlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nalixlint:", err)
+	os.Exit(2)
+}

@@ -43,7 +43,9 @@ func main() {
 			fatal(err)
 		}
 		doc, err := xmldb.Parse(filepath.Base(path), f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}

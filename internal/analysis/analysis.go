@@ -1,0 +1,164 @@
+// Package analysis implements nalixlint, the repository's custom
+// static-analysis layer. The passes encode correctness invariants the
+// test suite cannot enforce mechanically:
+//
+//   - maporder: the same English query must always print the same
+//     Schema-Free XQuery (the paper's predictability contract, Sec. 4),
+//     so no ordered output may be derived from Go's randomized map
+//     iteration order.
+//   - exhaustive: switches over the repo's enum-like types (token
+//     classes, AST kinds, feedback codes) must handle every declared
+//     constant or say `default:` explicitly, so adding a constant is a
+//     compile-time TODO list instead of a silent fall-through.
+//   - lockcheck: a struct field accessed under a sync.Mutex somewhere
+//     must be accessed under it everywhere in the package.
+//   - errdrop: no error value may be discarded with a blank identifier
+//     (or as an ignored single-error call result) outside tests.
+//
+// Everything is built on the standard library only (go/ast, go/parser,
+// go/types); there are no third-party analyzer dependencies. The
+// cmd/nalixlint driver loads the module, runs every pass, and exits
+// nonzero on findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by a pass.
+type Diagnostic struct {
+	Pass    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// Pass is one analyzer: a name, a one-line description, and a function
+// producing diagnostics for a type-checked package.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(u *Unit) []Diagnostic
+}
+
+// Unit is one type-checked package as presented to the passes. Test
+// files (_test.go) are excluded by the loader.
+type Unit struct {
+	Fset  *token.FileSet
+	Path  string // import path ("nalix/internal/core")
+	Dir   string // directory the files came from
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Passes returns every registered pass, in stable order.
+func Passes() []*Pass {
+	return []*Pass{MapOrder, Exhaustive, LockCheck, ErrDrop}
+}
+
+// RunAll runs every pass over the unit and returns the surviving
+// diagnostics sorted by position. Findings on lines carrying a
+// `//nalixlint:ignore <pass>` comment are suppressed — the escape hatch
+// for the rare loop or switch whose safety the analyzers cannot see.
+func RunAll(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range Passes() {
+		diags = append(diags, p.Run(u)...)
+	}
+	diags = filterIgnored(u, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pass < b.Pass
+	})
+	return diags
+}
+
+// filterIgnored drops diagnostics whose line (or the line above) has an
+// ignore directive naming the pass.
+func filterIgnored(u *Unit, diags []Diagnostic) []Diagnostic {
+	// byPass maps "file\x00pass" to the set of suppressed lines.
+	byPass := map[string]map[int]bool{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "nalixlint:ignore") {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(text, "nalixlint:ignore"))
+				pos := u.Fset.Position(c.Pos())
+				for _, name := range rest {
+					key := pos.Filename + "\x00" + name
+					if byPass[key] == nil {
+						byPass[key] = map[int]bool{}
+					}
+					// The directive covers its own line and the next,
+					// so it can sit above the flagged statement.
+					byPass[key][pos.Line] = true
+					byPass[key][pos.Line+1] = true
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		key := d.Pos.Filename + "\x00" + d.Pass
+		if lines := byPass[key]; lines != nil && lines[d.Pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// typeIsMap reports whether t's core type is a map.
+func typeIsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// exprString renders an expression compactly for messages and for
+// matching "the same base value" across statements (e.g. lock receiver
+// vs. field receiver). It deliberately ignores position information.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

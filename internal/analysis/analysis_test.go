@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the fixture expectation markers: "// want <pass>" at
+// the end of a line that must produce exactly one diagnostic of that
+// pass.
+var wantRe = regexp.MustCompile(`// want ([a-z]+)\s*$`)
+
+// loadFixture type-checks one testdata package and returns its unit.
+func loadFixture(t *testing.T, name string) *Unit {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	u, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return u
+}
+
+// wantMarkers scans fixture sources for expectation markers, keyed
+// "file:line:pass".
+func wantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), line, m[1])] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return want
+}
+
+// checkFixture runs all passes over a fixture and compares the
+// diagnostics against the want markers, both ways.
+func checkFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	u := loadFixture(t, name)
+	diags := RunAll(u)
+	got := map[string]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pass)
+		if got[key] {
+			t.Errorf("duplicate diagnostic %s: %s", key, d.Message)
+		}
+		got[key] = true
+	}
+	want := wantMarkers(t, filepath.Join("testdata", "src", name))
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		switch {
+		case got[k] && !want[k]:
+			t.Errorf("unexpected diagnostic at %s", k)
+		case !got[k] && want[k]:
+			t.Errorf("missing diagnostic at %s", k)
+		}
+	}
+	return diags
+}
+
+func TestMapOrderFixture(t *testing.T)   { checkFixture(t, "maporder") }
+func TestExhaustiveFixture(t *testing.T) { checkFixture(t, "exhaustive") }
+func TestLockCheckFixture(t *testing.T)  { checkFixture(t, "lockcheck") }
+func TestErrDropFixture(t *testing.T)    { checkFixture(t, "errdrop") }
+
+// TestTranslateLikePatternExitsNonzero pins the acceptance criterion:
+// the fixture reproducing translate.go's old unsorted map-range (an
+// append fed by random iteration order) must yield findings, which is
+// exactly what makes the nalixlint driver exit nonzero.
+func TestTranslateLikePatternExitsNonzero(t *testing.T) {
+	u := loadFixture(t, "maporder")
+	found := false
+	for _, d := range RunAll(u) {
+		if d.Pass == "maporder" && strings.Contains(d.Message, "appends to picked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the translate.go-style unsorted map-range was not flagged; the lint gate would not catch a regression")
+	}
+}
+
+// TestExhaustiveMessageNamesMissingConstants checks the message quality:
+// the developer must be told which constants are missing.
+func TestExhaustiveMessageNamesMissingConstants(t *testing.T) {
+	u := loadFixture(t, "exhaustive")
+	var msgs []string
+	for _, d := range RunAll(u) {
+		if d.Pass == "exhaustive" {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"Blue", "CodeB"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("exhaustive diagnostics do not name missing constant %s:\n%s", want, joined)
+		}
+	}
+}
+
+// TestDiagnosticsSorted verifies RunAll returns diagnostics in
+// file/line order so driver output is stable.
+func TestDiagnosticsSorted(t *testing.T) {
+	u := loadFixture(t, "maporder")
+	diags := RunAll(u)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestDiagnosticString pins the driver's output format.
+func TestDiagnosticString(t *testing.T) {
+	u := loadFixture(t, "errdrop")
+	diags := RunAll(u)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "errdrop.go:") || !strings.Contains(s, "[errdrop]") {
+		t.Errorf("diagnostic string %q lacks file position or pass tag", s)
+	}
+}
+
+// TestExpandPatterns checks the "..." expansion skips testdata and
+// finds real packages.
+func TestExpandPatterns(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAnalysis := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("ExpandPatterns descended into testdata: %s", d)
+		}
+		if filepath.Base(d) == "analysis" {
+			sawAnalysis = true
+		}
+	}
+	if !sawAnalysis {
+		t.Error("ExpandPatterns did not find internal/analysis")
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded errors outside tests: a blank identifier
+// receiving an error-typed value in an assignment (`_ = f()`,
+// `v, _ := g()`), and expression statements calling a function whose
+// only result is an error. Multi-result calls used as bare statements
+// (e.g. fmt.Fprintf's (int, error)) are left to judgement — the
+// blank-assignment form is the pattern this pass hunts, because it
+// actively silences a value someone had to think about.
+var ErrDrop = &Pass{
+	Name: "errdrop",
+	Doc:  "flag discarded error values outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool {
+		return t != nil && types.AssignableTo(t, errType) && !types.Identical(t, types.Typ[types.UntypedNil])
+	}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if isErr(resultTypeAt(u, x, i)) {
+						diags = append(diags, Diagnostic{
+							Pass:    "errdrop",
+							Pos:     u.Fset.Position(lhs.Pos()),
+							Message: "error result discarded with _; handle it or document why it cannot occur",
+						})
+					}
+				}
+			case *ast.ExprStmt:
+				call, ok := x.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				t := u.Info.TypeOf(call)
+				if t != nil && isErr(t) && !neverFails(u, call) {
+					if _, tuple := t.(*types.Tuple); !tuple {
+						diags = append(diags, Diagnostic{
+							Pass:    "errdrop",
+							Pos:     u.Fset.Position(call.Pos()),
+							Message: "call returns an error that is ignored; handle or explicitly discard with a checked helper",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// neverFails reports whether a call's error is nil by documented
+// contract: methods on strings.Builder and bytes.Buffer "always return
+// a nil error" per their package docs, so checking them is noise.
+func neverFails(u *Unit, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := u.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// resultTypeAt resolves the type flowing into the i-th left-hand side
+// of an assignment: positional for 1:1 assignments, tuple component for
+// `a, b := f()` forms.
+func resultTypeAt(u *Unit, x *ast.AssignStmt, i int) types.Type {
+	if len(x.Rhs) == len(x.Lhs) {
+		return u.Info.TypeOf(x.Rhs[i])
+	}
+	if len(x.Rhs) != 1 {
+		return nil
+	}
+	t := u.Info.TypeOf(x.Rhs[0])
+	if tuple, ok := t.(*types.Tuple); ok && i < tuple.Len() {
+		return tuple.At(i).Type()
+	}
+	// Comma-ok forms (map index, type assertion, channel receive) yield
+	// a bool second value, never an error; single-value RHS with two
+	// LHS and a non-tuple type is one of those.
+	if i == 0 {
+		return t
+	}
+	return nil
+}

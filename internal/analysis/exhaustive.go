@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive flags switch statements over enum-like named types (a
+// defined integer or string type with at least two declared constants
+// in its package) that neither cover every declared constant nor
+// declare a `default` clause. Such switches silently drop newly added
+// token classes, AST kinds, or feedback codes; the fix is to list the
+// missing constants or to state `default:` explicitly.
+var Exhaustive = &Pass{
+	Name: "exhaustive",
+	Doc:  "flag non-exhaustive switches over enum-like types",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			if d := checkSwitch(u, sw); d != nil {
+				diags = append(diags, *d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func checkSwitch(u *Unit, sw *ast.SwitchStmt) *Diagnostic {
+	tagType := u.Info.TypeOf(sw.Tag)
+	consts := enumConstants(tagType)
+	if len(consts) < 2 {
+		return nil
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return nil // default clause: intentionally partial
+		}
+		for _, e := range cc.List {
+			if tv, ok := u.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return &Diagnostic{
+		Pass: "exhaustive",
+		Pos:  u.Fset.Position(sw.Switch),
+		Message: "switch over " + types.TypeString(tagType, types.RelativeTo(u.Pkg)) +
+			" misses " + strings.Join(missing, ", ") + " and has no default clause",
+	}
+}
+
+// enumConstants lists the constants of t declared in t's own package,
+// when t is a defined integer or string type. One name per distinct
+// value: aliases for the same value count once.
+func enumConstants(t types.Type) []*types.Const {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	seen := map[string]bool{}
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}

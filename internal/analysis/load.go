@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one Go module using only
+// the standard library: module-internal imports are resolved by
+// recursively loading their directories, and standard-library imports
+// go through the source importer (compiled export data is not assumed
+// to exist). Third-party imports are unsupported — the module has none
+// by policy.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path from go.mod ("" when loading a
+	// bare directory with no module-internal imports, e.g. fixtures).
+	ModulePath string
+
+	std       types.Importer
+	units     map[string]*Unit          // by import path
+	pkgs      map[string]*types.Package // importer cache, by import path
+	importing map[string]bool           // cycle guard
+}
+
+// NewLoader returns a Loader rooted at the given directory. When the
+// directory holds a go.mod, its module path anchors internal imports;
+// otherwise only stdlib imports resolve.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: abs,
+		units:      map[string]*Unit{},
+		pkgs:       map[string]*types.Package{},
+		importing:  map[string]bool{},
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
+		l.ModulePath = modulePath(string(data))
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer over the hybrid scheme.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		u, err := l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPathFor maps a directory under the module root to its import
+// path. Directories outside the module get a synthetic path.
+func (l *Loader) importPathFor(dir string) string {
+	if l.ModulePath != "" {
+		if rel, err := filepath.Rel(l.ModuleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return l.ModulePath
+			}
+			return l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(dir)
+}
+
+// LoadDir parses and type-checks the package in one directory,
+// excluding test files. Results are cached by import path.
+func (l *Loader) LoadDir(dir string) (*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	if u, ok := l.units[path]; ok {
+		return u, nil
+	}
+	if l.importing[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.importing[path] = true
+	defer delete(l.importing, path)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", abs)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	u := &Unit{Fset: l.Fset, Path: path, Dir: abs, Files: files, Pkg: pkg, Info: info}
+	l.units[path] = u
+	l.pkgs[path] = pkg
+	return u, nil
+}
+
+// ExpandPatterns turns driver arguments into package directories. The
+// sole supported wildcard is the Go tool's trailing "...": "./..."
+// (or "dir/...") walks for directories containing non-test Go files,
+// skipping testdata, hidden directories, and vendor.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		base, walk := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" {
+			base = "."
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !walk {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

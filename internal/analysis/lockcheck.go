@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockCheck enforces consistent mutex discipline inside a package: for
+// every struct that carries a sync.Mutex or sync.RWMutex field, any
+// data field that is accessed at least once while the mutex is held
+// must be accessed under the mutex everywhere. An access is considered
+// protected when the same receiver expression locked the mutex earlier
+// in the function without a matching non-deferred unlock in between.
+//
+// The analysis is lexical and per-function (it does not follow calls),
+// which matches how the repo's guarded caches are written: short
+// methods that Lock, touch the field, and defer Unlock.
+var LockCheck = &Pass{
+	Name: "lockcheck",
+	Doc:  "flag unguarded accesses to mutex-protected struct fields",
+	Run:  runLockCheck,
+}
+
+// guardedStruct describes one struct type with its mutex field names.
+type guardedStruct struct {
+	typ     *types.Named
+	mutexes map[string]bool
+}
+
+type fieldAccess struct {
+	structName string
+	field      string
+	pos        token.Pos
+	locked     bool
+}
+
+func runLockCheck(u *Unit) []Diagnostic {
+	guarded := findGuardedStructs(u)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var accesses []fieldAccess
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			accesses = append(accesses, collectAccesses(u, guarded, fd)...)
+		}
+	}
+	// A field is under lock discipline when at least one access to it
+	// anywhere in the package holds the mutex.
+	disciplined := map[string]bool{}
+	for _, a := range accesses {
+		if a.locked {
+			disciplined[a.structName+"."+a.field] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range accesses {
+		key := a.structName + "." + a.field
+		if a.locked || !disciplined[key] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pass:    "lockcheck",
+			Pos:     u.Fset.Position(a.pos),
+			Message: "field " + key + " is accessed under its mutex elsewhere in this package but not here",
+		})
+	}
+	return diags
+}
+
+// findGuardedStructs scans the package scope for struct types with
+// sync.Mutex / sync.RWMutex fields (direct or embedded, by value or
+// pointer).
+func findGuardedStructs(u *Unit) map[string]*guardedStruct {
+	out := map[string]*guardedStruct{}
+	scope := u.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		g := &guardedStruct{typ: named, mutexes: map[string]bool{}}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isSyncMutex(f.Type()) {
+				g.mutexes[f.Name()] = true
+			}
+		}
+		if len(g.mutexes) > 0 {
+			out[name] = g
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockEvent is one Lock/Unlock call on a receiver's mutex, keyed by the
+// printed receiver expression.
+type lockEvent struct {
+	pos      token.Pos
+	base     string
+	acquire  bool
+	deferred bool
+}
+
+// collectAccesses walks one function, recording lock events and field
+// accesses, then resolves which accesses happen while a lock on the
+// same receiver is held.
+func collectAccesses(u *Unit, guarded map[string]*guardedStruct, fd *ast.FuncDecl) []fieldAccess {
+	var events []lockEvent
+	var raw []struct {
+		structName string
+		field      string
+		base       string
+		pos        token.Pos
+	}
+
+	record := func(call *ast.CallExpr, deferred bool) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		method := sel.Sel.Name
+		var acquire bool
+		switch method {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return false
+		}
+		// The callee must be <base>.<mutexField>.<method> on a guarded
+		// struct.
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		g := guardedFor(u, guarded, inner.X)
+		if g == nil || !g.mutexes[inner.Sel.Name] {
+			return false
+		}
+		events = append(events, lockEvent{
+			pos: call.Pos(), base: exprString(inner.X), acquire: acquire, deferred: deferred,
+		})
+		return true
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if record(x.Call, true) {
+				return false
+			}
+		case *ast.CallExpr:
+			if record(x, false) {
+				return false
+			}
+		case *ast.SelectorExpr:
+			g := guardedFor(u, guarded, x.X)
+			if g == nil {
+				return true
+			}
+			name := x.Sel.Name
+			if g.mutexes[name] {
+				return true // the mutex itself
+			}
+			if !isStructField(u, x) {
+				return true // method call, not a field
+			}
+			raw = append(raw, struct {
+				structName string
+				field      string
+				base       string
+				pos        token.Pos
+			}{g.typ.Obj().Name(), name, exprString(x.X), x.Pos()})
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	var out []fieldAccess
+	for _, a := range raw {
+		depth := 0
+		for _, e := range events {
+			if e.pos >= a.pos || e.base != a.base {
+				continue
+			}
+			if e.acquire {
+				depth++
+			} else if !e.deferred {
+				depth--
+			}
+		}
+		out = append(out, fieldAccess{
+			structName: a.structName, field: a.field, pos: a.pos, locked: depth > 0,
+		})
+	}
+	return out
+}
+
+// guardedFor resolves the guarded struct an expression's type refers
+// to, looking through pointers.
+func guardedFor(u *Unit, guarded map[string]*guardedStruct, e ast.Expr) *guardedStruct {
+	t := u.Info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != u.Pkg.Path() {
+		return nil
+	}
+	return guarded[named.Obj().Name()]
+}
+
+// isStructField reports whether a selector resolves to a struct field
+// (as opposed to a method).
+func isStructField(u *Unit, sel *ast.SelectorExpr) bool {
+	s, ok := u.Info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}

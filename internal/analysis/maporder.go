@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose loop body can leak
+// Go's randomized iteration order into an observable result: appending
+// to a slice that is never sorted afterwards, building strings, sending
+// on channels, early exits that pick one element, or any call with
+// unknown effects. Bodies that only insert into maps/sets, delete,
+// or bump numeric accumulators are order-insensitive and pass.
+//
+// This is the mechanical guard behind the paper's predictability
+// contract: the same English query must always print the same
+// Schema-Free XQuery, so nothing ordered may be derived from an
+// unsorted map walk.
+var MapOrder = &Pass{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order can leak into results",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			if stmts == nil {
+				return true
+			}
+			for i, s := range stmts {
+				rs := asRangeStmt(s)
+				if rs == nil {
+					continue
+				}
+				if !typeIsMap(u.Info.TypeOf(rs.X)) {
+					continue
+				}
+				diags = append(diags, checkMapRange(u, rs, stmts[i+1:])...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// stmtList returns the statement list a node carries, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch x := n.(type) {
+	case *ast.BlockStmt:
+		return x.List
+	case *ast.CaseClause:
+		return x.Body
+	case *ast.CommClause:
+		return x.Body
+	}
+	return nil
+}
+
+func asRangeStmt(s ast.Stmt) *ast.RangeStmt {
+	for {
+		if l, ok := s.(*ast.LabeledStmt); ok {
+			s = l.Stmt
+			continue
+		}
+		rs, _ := s.(*ast.RangeStmt)
+		return rs
+	}
+}
+
+// checkMapRange analyzes one map-range loop. rest holds the statements
+// following the loop in the same block, consulted for the
+// collect-then-sort idiom.
+func checkMapRange(u *Unit, rs *ast.RangeStmt, rest []ast.Stmt) []Diagnostic {
+	v := &orderVisitor{u: u, bodyStart: rs.Body.Pos(), bodyEnd: rs.Body.End()}
+	v.stmts(rs.Body.List)
+	var diags []Diagnostic
+	for _, s := range v.sensitive {
+		diags = append(diags, Diagnostic{
+			Pass:    "maporder",
+			Pos:     u.Fset.Position(s.pos),
+			Message: "iteration over map " + exprString(rs.X) + " is randomly ordered, and " + s.what + "; iterate sorted keys or make the body order-insensitive",
+		})
+	}
+	// Appends are fine when every appended slice is sorted right after
+	// the loop.
+	for _, ap := range v.appends {
+		if sortedAfter(u, ap.target, rest) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pass:    "maporder",
+			Pos:     u.Fset.Position(ap.pos),
+			Message: "iteration over map " + exprString(rs.X) + " is randomly ordered and appends to " + ap.target + " without sorting it afterwards; sort " + ap.target + " or iterate sorted keys",
+		})
+	}
+	return diags
+}
+
+type orderIssue struct {
+	pos  token.Pos
+	what string
+}
+
+type appendIssue struct {
+	pos    token.Pos
+	target string
+}
+
+// orderVisitor classifies the statements of a map-range body.
+type orderVisitor struct {
+	u                  *Unit
+	bodyStart, bodyEnd token.Pos
+	// loopDepth and switchDepth count enclosing statements inside the
+	// map-range body that a `break` would bind to; only a break that
+	// reaches the map loop itself is an order-sensitive early exit.
+	loopDepth   int
+	switchDepth int
+	sensitive   []orderIssue
+	appends     []appendIssue
+}
+
+func (v *orderVisitor) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		v.stmt(s)
+	}
+}
+
+func (v *orderVisitor) flag(pos token.Pos, what string) {
+	v.sensitive = append(v.sensitive, orderIssue{pos, what})
+}
+
+func (v *orderVisitor) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+		return
+	case *ast.AssignStmt:
+		v.assign(x)
+	case *ast.IncDecStmt:
+		// Counting is commutative.
+	case *ast.DeclStmt, *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return // set removal is order-insensitive
+			}
+			v.flag(x.Pos(), "the body calls "+exprString(call.Fun)+", whose effects may depend on visit order")
+			return
+		}
+		v.flag(x.Pos(), "the body has an order-dependent statement")
+	case *ast.IfStmt:
+		if x.Init != nil {
+			v.stmt(x.Init)
+		}
+		v.stmts(x.Body.List)
+		if x.Else != nil {
+			v.stmt(x.Else)
+		}
+	case *ast.BlockStmt:
+		v.stmts(x.List)
+	case *ast.ForStmt:
+		v.loopDepth++
+		v.stmts(x.Body.List)
+		v.loopDepth--
+	case *ast.RangeStmt:
+		v.loopDepth++
+		v.stmts(x.Body.List)
+		v.loopDepth--
+	case *ast.SwitchStmt:
+		v.switchDepth++
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				v.stmts(cc.Body)
+			}
+		}
+		v.switchDepth--
+	case *ast.TypeSwitchStmt:
+		v.switchDepth++
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				v.stmts(cc.Body)
+			}
+		}
+		v.switchDepth--
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.CONTINUE:
+			// Skipping an element is order-insensitive.
+		case token.FALLTHROUGH:
+			// Stays within the enclosing switch.
+		case token.BREAK:
+			// A bare break inside a nested loop or switch never reaches
+			// the map loop; a labeled break may.
+			if x.Label != nil || (v.loopDepth == 0 && v.switchDepth == 0) {
+				v.flag(x.Pos(), "an early exit makes the result depend on which element is visited first")
+			}
+		default: // goto
+			v.flag(x.Pos(), "the body has an order-dependent branch")
+		}
+	case *ast.ReturnStmt:
+		v.flag(x.Pos(), "returning from inside the loop picks a random element")
+	case *ast.SendStmt:
+		v.flag(x.Pos(), "channel sends preserve iteration order")
+	default:
+		v.flag(s.Pos(), "the body has an order-dependent statement")
+	}
+}
+
+// assign classifies one assignment inside the body.
+func (v *orderVisitor) assign(x *ast.AssignStmt) {
+	// x = append(x, ...) — record the target; verdict depends on a
+	// later sort.
+	if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+		if call, ok := x.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				v.appends = append(v.appends, appendIssue{x.Pos(), exprString(x.Lhs[0])})
+				return
+			}
+		}
+	}
+	switch x.Tok {
+	case token.DEFINE:
+		// := inside the body declares fresh per-iteration variables;
+		// nothing outlives the iteration through them.
+	case token.ASSIGN:
+		for i, lhs := range x.Lhs {
+			if v.orderSafeStore(lhs, rhsFor(x, i)) {
+				continue
+			}
+			v.flag(x.Pos(), "assigning to "+exprString(lhs)+" makes the last-visited element win")
+			return
+		}
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation — safe for numeric targets; string
+		// += concatenates in visit order.
+		lhs := x.Lhs[0]
+		if t := v.u.Info.TypeOf(lhs); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+				return
+			}
+		}
+		v.flag(x.Pos(), "compound assignment to "+exprString(x.Lhs[0])+" accumulates in visit order")
+	default:
+		v.flag(x.Pos(), "compound assignment to "+exprString(x.Lhs[0])+" accumulates in visit order")
+	}
+}
+
+func rhsFor(x *ast.AssignStmt, i int) ast.Expr {
+	if len(x.Rhs) == len(x.Lhs) {
+		return x.Rhs[i]
+	}
+	if len(x.Rhs) == 1 {
+		return x.Rhs[0]
+	}
+	return nil
+}
+
+// orderSafeStore reports whether storing rhs into lhs cannot leak
+// iteration order: inserting into a map or set (the final map content
+// is the same whatever the visit order), or setting a flag to a
+// constant.
+func (v *orderVisitor) orderSafeStore(lhs, rhs ast.Expr) bool {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return true
+		}
+		// Writes to variables declared inside the loop body stay
+		// inside the iteration.
+		if obj := v.u.Info.Uses[id]; obj != nil && v.bodyStart.IsValid() &&
+			obj.Pos() >= v.bodyStart && obj.Pos() <= v.bodyEnd {
+			return true
+		}
+	}
+	if ix, ok := lhs.(*ast.IndexExpr); ok && typeIsMap(v.u.Info.TypeOf(ix.X)) {
+		return true
+	}
+	if rhs != nil {
+		if tv, ok := v.u.Info.Types[rhs]; ok && tv.Value != nil {
+			return true // constant store: every visit writes the same value
+		}
+		if id, ok := rhs.(*ast.Ident); ok && (id.Name == "true" || id.Name == "false" || id.Name == "nil") {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether one of the statements after the loop
+// sorts the named target (sort.Strings/Ints/Float64s/Slice/SliceStable
+// or slices.Sort*).
+func sortedAfter(u *Unit, target string, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if pkg.Name != "sort" && pkg.Name != "slices" {
+			continue
+		}
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc", "Stable":
+			if exprString(call.Args[0]) == target || exprString(call.Args[0]) == "&"+target {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package errdrop is a fixture for the errdrop pass.
+package errdrop
+
+import (
+	"errors"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func divide(a, b int) (int, error) {
+	if b == 0 {
+		return 0, errors.New("division by zero")
+	}
+	return a / b, nil
+}
+
+func blankAssign() {
+	_ = mayFail() // want errdrop
+}
+
+func blankTuple() int {
+	v, _ := divide(4, 2) // want errdrop
+	return v
+}
+
+func bareCall() {
+	mayFail() // want errdrop
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := divide(4, 2)
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+func commaOk(m map[string]int) int {
+	v, _ := m["k"] // comma-ok bool, not an error
+	return v
+}
+
+func builderExempt() string {
+	var sb strings.Builder
+	sb.WriteString("never fails by contract")
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+// Package exhaustive is a fixture for the exhaustive pass.
+package exhaustive
+
+// Color is an enum-like integer type.
+type Color int
+
+// The colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Code is an enum-like string type.
+type Code string
+
+// The codes.
+const (
+	CodeA Code = "a"
+	CodeB Code = "b"
+)
+
+func missingCase(c Color) string {
+	switch c { // want exhaustive
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return ""
+}
+
+func missingString(c Code) string {
+	switch c { // want exhaustive
+	case CodeA:
+		return "a"
+	}
+	return ""
+}
+
+func hasDefault(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+func complete(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return ""
+}
+
+func notEnum(n int) string {
+	switch n {
+	case 1:
+		return "one"
+	}
+	return ""
+}

@@ -1,0 +1,67 @@
+// Package lockcheck is a fixture for the lockcheck pass.
+package lockcheck
+
+import "sync"
+
+// Counter guards n with mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	// name is never accessed under the lock, so it is undisciplined and
+	// exempt.
+	name string
+}
+
+// Inc is the disciplined access that establishes the guard.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Get forgets the lock.
+func (c *Counter) Get() int {
+	return c.n // want lockcheck
+}
+
+// GetLocked takes it.
+func (c *Counter) GetLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Name touches only the unguarded field.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// Sequenced releases and re-acquires; the access in between is bare.
+func (c *Counter) Sequenced() int {
+	c.mu.Lock()
+	a := c.n
+	c.mu.Unlock()
+	b := c.n // want lockcheck
+	c.mu.Lock()
+	b += c.n
+	c.mu.Unlock()
+	return a + b
+}
+
+// RW guards m with an RWMutex.
+type RW struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Load reads under the read lock.
+func (r *RW) Load(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Store forgets the lock.
+func (r *RW) Store(k string, v int) {
+	r.m[k] = v // want lockcheck
+}

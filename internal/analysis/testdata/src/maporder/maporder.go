@@ -1,0 +1,125 @@
+// Package maporder is a fixture for the maporder pass. Lines that must
+// produce a diagnostic carry a "want <pass>" marker comment.
+package maporder
+
+import "sort"
+
+// translateLike reproduces the shape that once lived in the translator's
+// equivalence closure: ranging over a map and letting the visit order
+// decide which element wins. Reintroducing this pattern anywhere in the
+// tree makes nalixlint exit nonzero.
+func translateLike(coreSet map[string]bool) []string {
+	var picked []string
+	for v := range coreSet {
+		picked = append(picked, v) // want maporder
+	}
+	return picked
+}
+
+func earlyExit(m map[string]int) string {
+	for k := range m {
+		return k // want maporder
+	}
+	return ""
+}
+
+func lastWins(m map[string]int) string {
+	var winner string
+	for k := range m {
+		winner = k // want maporder
+	}
+	return winner
+}
+
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want maporder
+	}
+	return s
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want maporder
+	}
+}
+
+func unknownCall(m map[string]int) {
+	for k := range m {
+		println(k) // want maporder
+	}
+}
+
+func setInsertion(m map[string]int) map[string]bool {
+	set := make(map[string]bool)
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func summing(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func deleteEntries(m map[string]int, bad map[string]bool) {
+	for k := range m {
+		if bad[k] {
+			delete(m, k)
+		}
+	}
+}
+
+func nestedBreak(m map[string][]int) int {
+	count := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break // binds to the inner loop, not the map range
+			}
+			count++
+		}
+	}
+	return count
+}
+
+func bodyLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		doubled := v * 2
+		doubled = doubled + 1
+		n += doubled
+	}
+	return n
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//nalixlint:ignore maporder
+		keys = append(keys, k)
+	}
+	return keys
+}

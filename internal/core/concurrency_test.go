@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+// TestConcurrentTranslate hammers one Translator from many goroutines.
+// Under -race this proves the numericSpans cache guard: every sentence
+// below resolves a bare number, which is what lazily builds the cache.
+func TestConcurrentTranslate(t *testing.T) {
+	doc, err := xmldb.ParseString("bib.xml", bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTranslator(doc, nil)
+	queries := []string{
+		`Find all books published after 1991.`,
+		`Find all books published before 1999.`,
+		`Find all books published by "Addison-Wesley" after 1991.`,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(g+i)%len(queries)]
+				res, err := tr.Translate(q)
+				if err != nil {
+					t.Errorf("Translate(%q): %v", q, err)
+					return
+				}
+				if !res.Valid() {
+					t.Errorf("query rejected: %q: %v", q, res.Errors)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -10,6 +10,9 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"nalix/internal/nlp"
 	"nalix/internal/ontology"
@@ -90,14 +93,81 @@ const (
 	Warning
 )
 
+// FeedbackCode identifies a feedback message family. The set is closed:
+// every code the validator or builder can emit is declared below, and
+// the nalixlint exhaustive pass keeps Describe in sync with it, so
+// adding a code without wiring its explanation fails the lint gate.
+type FeedbackCode string
+
+// The feedback codes. Error codes reject the query; warning codes
+// annotate an accepted one.
+const (
+	// CodeNoCommand: the sentence does not start with a command token
+	// (Return/Find/List...), so there is nothing to execute.
+	CodeNoCommand FeedbackCode = "no-command"
+	// CodeNoReturn: the command token has no object — the query never
+	// says what to return.
+	CodeNoReturn FeedbackCode = "no-return"
+	// CodeUnknownTerm: a word is outside the supported grammar and
+	// vocabulary (the paper's Fig. 10 situation).
+	CodeUnknownTerm FeedbackCode = "unknown-term"
+	// CodeUnmatchedName: a name token denotes no database label even
+	// after ontology expansion.
+	CodeUnmatchedName FeedbackCode = "unmatched-name"
+	// CodeUnmatchedValue: a value token matches no database content.
+	CodeUnmatchedValue FeedbackCode = "unmatched-value"
+	// CodeDanglingOperator: a comparison has nothing to compare.
+	CodeDanglingOperator FeedbackCode = "dangling-operator"
+	// CodeDanglingFunction: an aggregate function is applied to nothing.
+	CodeDanglingFunction FeedbackCode = "dangling-function"
+	// CodePronoun: a pronoun was resolved heuristically (warning).
+	CodePronoun FeedbackCode = "pronoun"
+	// CodeAmbiguousName: a name token matches several element names;
+	// all are searched (warning).
+	CodeAmbiguousName FeedbackCode = "ambiguous-name"
+	// CodeAmbiguousValue: a value occurs under several element names;
+	// all are searched (warning).
+	CodeAmbiguousValue FeedbackCode = "ambiguous-value"
+)
+
+// Describe returns a short, user-facing explanation of the message
+// family — what went wrong in general, independent of the concrete
+// query. The switch is exhaustive over the declared codes (enforced by
+// nalixlint's exhaustive pass).
+func (c FeedbackCode) Describe() string {
+	switch c {
+	case CodeNoCommand:
+		return "the query does not start with a command word"
+	case CodeNoReturn:
+		return "the query does not say what to return"
+	case CodeUnknownTerm:
+		return "a term is outside the supported vocabulary"
+	case CodeUnmatchedName:
+		return "a name matches nothing in the database"
+	case CodeUnmatchedValue:
+		return "a value matches nothing in the database"
+	case CodeDanglingOperator:
+		return "a comparison is missing one of its sides"
+	case CodeDanglingFunction:
+		return "a function is not applied to anything"
+	case CodePronoun:
+		return "a pronoun was resolved to the nearest preceding name"
+	case CodeAmbiguousName:
+		return "a name matches several element names"
+	case CodeAmbiguousValue:
+		return "a value occurs under several element names"
+	default:
+		return "unrecognized feedback code"
+	}
+}
+
 // Feedback is one message generated during validation, tailored to the
 // query that caused it (Sec. 4 of the paper).
 type Feedback struct {
 	Kind FeedbackKind
 	// Code identifies the message family for tests and the study
-	// harness ("unknown-term", "no-command", "no-return",
-	// "unmatched-name", "unmatched-value", "pronoun", ...).
-	Code string
+	// harness.
+	Code FeedbackCode
 	// Term is the offending word or phrase, when applicable.
 	Term string
 	// Message is the user-facing explanation.
@@ -133,9 +203,63 @@ type Translator struct {
 	// matches only), for the ablation benchmarks.
 	DisableExpansion bool
 
+	// mu guards numericSpans: a Translator may serve concurrent
+	// Translate calls (the study harness fans sentences out), and the
+	// span cache is the only mutable state they share.
+	mu sync.Mutex
 	// numericSpans caches per-label numeric value ranges for implicit
 	// name-token resolution (computed once per document).
 	numericSpans map[string]numericSpan
+}
+
+// labelSpans returns the per-label numeric profile of the document,
+// computing it on first use. Safe for concurrent translations.
+func (t *Translator) labelSpans() map[string]numericSpan {
+	doc := t.doc
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.numericSpans == nil {
+		t.numericSpans = computeSpans(doc)
+	}
+	return t.numericSpans
+}
+
+// computeSpans profiles every leaf label of the document: how many
+// nodes carry it, how many hold numbers, and the numeric range.
+func computeSpans(doc *xmldb.Document) map[string]numericSpan {
+	spans := map[string]numericSpan{}
+	for _, n := range doc.Nodes() {
+		if n.Kind != xmldb.ElementNode && n.Kind != xmldb.AttributeNode {
+			continue
+		}
+		// Only leaves hold comparable numbers.
+		leaf := true
+		for _, c := range n.Children {
+			if c.Kind == xmldb.ElementNode {
+				leaf = false
+				break
+			}
+		}
+		if !leaf {
+			continue
+		}
+		s, ok := spans[n.Label]
+		if !ok {
+			s = numericSpan{lo: 1e308, hi: -1e308}
+		}
+		s.total++
+		if x, err := strconv.ParseFloat(strings.TrimSpace(n.Value()), 64); err == nil {
+			s.numeric++
+			if x < s.lo {
+				s.lo = x
+			}
+			if x > s.hi {
+				s.hi = x
+			}
+		}
+		spans[n.Label] = s
+	}
+	return spans
 }
 
 // numericSpan is the numeric profile of one label's leaf values.

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+// determinismQueries exercise every translation stage that once walked a
+// map: core-token identification and its equivalence closure, implicit
+// name-token insertion, value-label resolution, and numeric span
+// profiling.
+var determinismQueries = []struct {
+	name, doc, xml, q string
+}{
+	{
+		name: "join with core tokens",
+		doc:  "movies.xml", xml: moviesXML,
+		q: `Return the directors of movies, where the title of each movie is the same as the title of a book.`,
+	},
+	{
+		name: "implicit numeric NT",
+		doc:  "bib.xml", xml: bibXML,
+		q: `Find all books published by "Addison-Wesley" after 1991.`,
+	},
+	{
+		name: "value disjunction",
+		doc:  "bib.xml", xml: bibXML,
+		q: `List the titles of books whose publisher is "Addison-Wesley" or "Morgan Kaufmann Publishers".`,
+	},
+	{
+		name: "aggregate and order",
+		doc:  "bib.xml", xml: bibXML,
+		q: `Return the number of authors of each book, sorted by title.`,
+	},
+}
+
+// TestTranslationDeterministic asserts the predictability contract the
+// paper leans on (the same English always shows the user the same
+// XQuery): 50 repeated translations, each with a freshly parsed document
+// and translator, must produce byte-identical output.
+func TestTranslationDeterministic(t *testing.T) {
+	for _, tc := range determinismQueries {
+		t.Run(tc.name, func(t *testing.T) {
+			var first string
+			for i := 0; i < 50; i++ {
+				doc, err := xmldb.ParseString(tc.doc, tc.xml)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				res, err := NewTranslator(doc, nil).Translate(tc.q)
+				if err != nil {
+					t.Fatalf("iteration %d: %v", i, err)
+				}
+				rendered := render(res)
+				if i == 0 {
+					first = rendered
+					if res.XQuery == "" {
+						t.Fatalf("query rejected: %v", res.Errors)
+					}
+					continue
+				}
+				if rendered != first {
+					t.Fatalf("iteration %d differs from iteration 0:\n--- first ---\n%s\n--- now ---\n%s", i, first, rendered)
+				}
+			}
+		})
+	}
+}
+
+// render fixes every observable output of a translation in one string.
+func render(res *Result) string {
+	s := res.XQuery + "\n"
+	for _, b := range res.Bindings {
+		s += fmt.Sprintf("%s %s core=%v implicit=%v %v\n", b.Var, b.Label, b.Core, b.Implicit, b.NodeIDs)
+	}
+	for _, w := range res.Warnings {
+		s += string(w.Code) + ": " + w.Message + "\n"
+	}
+	for _, e := range res.Errors {
+		s += string(e.Code) + ": " + e.Message + "\n"
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// allCodes is the closed set of feedback codes; Describe's exhaustive
+// switch (enforced by nalixlint) keeps it honest.
+var allCodes = []FeedbackCode{
+	CodeNoCommand,
+	CodeNoReturn,
+	CodeUnknownTerm,
+	CodeUnmatchedName,
+	CodeUnmatchedValue,
+	CodeDanglingOperator,
+	CodeDanglingFunction,
+	CodePronoun,
+	CodeAmbiguousName,
+	CodeAmbiguousValue,
+}
+
+// TestDescribeEveryCode: every declared code explains itself with a
+// non-empty, non-placeholder description.
+func TestDescribeEveryCode(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range allCodes {
+		d := c.Describe()
+		if d == "" {
+			t.Errorf("code %q has an empty description", c)
+		}
+		if strings.Contains(d, "unrecognized") {
+			t.Errorf("code %q fell through to the default description", c)
+		}
+		if seen[d] {
+			t.Errorf("code %q shares its description with another code", c)
+		}
+		seen[d] = true
+	}
+	if d := FeedbackCode("bogus").Describe(); !strings.Contains(d, "unrecognized") {
+		t.Errorf("unknown code described as %q, want the unrecognized fallback", d)
+	}
+}
+
+// provoke maps each code to a sentence (against bibXML) that elicits it.
+var provoke = map[FeedbackCode]string{
+	CodeNoCommand:        `books by Stevens`,
+	CodeNoReturn:         `Return.`,
+	CodeUnknownTerm:      `Return the books that have the same titles as movies.`,
+	CodeUnmatchedName:    `Return all spaceships.`,
+	CodeUnmatchedValue:   `Find "Utterly Absent Phrase XYZZY".`,
+	CodeDanglingOperator: `Return more than.`,
+	CodeDanglingFunction: `Return the number of.`,
+	CodePronoun:          `Return books and their titles.`,
+	CodeAmbiguousName:    ``, // covered in validate_test.go against a tailored doc
+	CodeAmbiguousValue:   ``, // covered in validate_test.go against a tailored doc
+}
+
+// TestEveryErrorCodeHasMessage: each feedback code the validator can
+// emit arrives with a non-empty user-facing message that reads like a
+// sentence (capitalized, punctuated).
+func TestEveryErrorCodeHasMessage(t *testing.T) {
+	f := newFixture(t, "bib.xml", bibXML)
+	for _, code := range allCodes {
+		q := provoke[code]
+		if q == "" {
+			continue
+		}
+		t.Run(string(code), func(t *testing.T) {
+			res := f.translate(t, q)
+			var hit *Feedback
+			for i := range res.Errors {
+				if res.Errors[i].Code == code {
+					hit = &res.Errors[i]
+				}
+			}
+			for i := range res.Warnings {
+				if res.Warnings[i].Code == code {
+					hit = &res.Warnings[i]
+				}
+			}
+			if hit == nil {
+				t.Fatalf("query %q did not produce code %q\nerrors: %v\nwarnings: %v",
+					q, code, res.Errors, res.Warnings)
+			}
+			if strings.TrimSpace(hit.Message) == "" {
+				t.Fatalf("code %q arrived with an empty message", code)
+			}
+			r := []rune(hit.Message)
+			if !unicode.IsUpper(r[0]) {
+				t.Errorf("message %q does not start with a capital", hit.Message)
+			}
+			if !strings.HasSuffix(hit.Message, ".") {
+				t.Errorf("message %q does not end with a period", hit.Message)
+			}
+		})
+	}
+}
+
+// TestAmbiguityCodesHaveMessages covers the two codes that need a
+// document with genuinely ambiguous labels/values.
+func TestAmbiguityCodesHaveMessages(t *testing.T) {
+	const xml = `<shop>
+	  <book><title>Go</title><publisher>Acme</publisher></book>
+	  <cd><name>Jazz</name><label>Acme</label></cd>
+	</shop>`
+	f := newFixture(t, "shop.xml", xml)
+	res := f.translate(t, `Find the book by "Acme".`)
+	found := false
+	for _, w := range res.Warnings {
+		if w.Code == CodeAmbiguousValue {
+			found = true
+			if strings.TrimSpace(w.Message) == "" {
+				t.Error("ambiguous-value warning has no message")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no ambiguous-value warning for a value under two labels; warnings: %v", res.Warnings)
+	}
+}

@@ -215,8 +215,11 @@ func (b *builder) identifyCoreTokens() {
 		walk(nt)
 		return found
 	}
-	for nt := range inSub {
-		if !hasDescNT(nt) {
+	// Iterate b.nts, not the sets: sentence order keeps every run of the
+	// translator byte-identical (map ranges would work here too, but the
+	// deterministic walk is the house style the maporder pass enforces).
+	for _, nt := range b.nts {
+		if inSub[nt] && !hasDescNT(nt) {
 			b.coreSet[nt] = true
 		}
 	}
@@ -227,8 +230,8 @@ func (b *builder) identifyCoreTokens() {
 			if b.coreSet[u] {
 				continue
 			}
-			for v := range b.coreSet {
-				if b.equivalent(u, v) {
+			for _, v := range b.nts {
+				if b.coreSet[v] && b.equivalent(u, v) {
 					b.coreSet[u] = true
 					changed = true
 					break
@@ -438,6 +441,9 @@ func (b *builder) markReturned() {
 			if h := tokenHead(c); h != nil {
 				b.varOf[h].returned = true
 			}
+		default:
+			// FTs in return position are handled by aggReturned; markers
+			// and values under the command return nothing themselves.
 		}
 	}
 }
@@ -461,7 +467,7 @@ func (b *builder) collectAggregates() {
 		h := tokenHead(cur)
 		if h == nil {
 			b.res.Errors = append(b.res.Errors, Feedback{
-				Kind: Error, Code: "dangling-function", Term: n.Lemma,
+				Kind: Error, Code: CodeDanglingFunction, Term: n.Lemma,
 				Message: fmt.Sprintf("The function %q is not applied to anything.", n.Text),
 			})
 			continue
@@ -647,6 +653,8 @@ func negatedPath(vt *nlp.Node) bool {
 			}
 		case OT, CMT, OBT:
 			return false
+		default:
+			// Markers and functions are transparent to the walk.
 		}
 	}
 	return false
@@ -680,6 +688,8 @@ func (b *builder) resolveOperand(n *nlp.Node) (operand, bool) {
 				return op, true
 			}
 		}
+	default:
+		// Command, order-by and negation nodes are not operands.
 	}
 	return operand{}, false
 }
@@ -717,6 +727,8 @@ func tokenHead2(n *nlp.Node) *nlp.Node {
 			if h := tokenHead2(c); h != nil {
 				return h
 			}
+		default:
+			// Other children cannot lead to a name token.
 		}
 	}
 	return nil

@@ -22,14 +22,14 @@ type validator struct {
 	labels map[*nlp.Node][]string
 }
 
-func (v *validator) errorf(code, term, suggestion, format string, args ...interface{}) {
+func (v *validator) errorf(code FeedbackCode, term, suggestion, format string, args ...interface{}) {
 	v.res.Errors = append(v.res.Errors, Feedback{
 		Kind: Error, Code: code, Term: term,
 		Message: fmt.Sprintf(format, args...), Suggestion: suggestion,
 	})
 }
 
-func (v *validator) warnf(code, term, format string, args ...interface{}) {
+func (v *validator) warnf(code FeedbackCode, term, format string, args ...interface{}) {
 	v.res.Warnings = append(v.res.Warnings, Feedback{
 		Kind: Warning, Code: code, Term: term,
 		Message: fmt.Sprintf(format, args...),
@@ -42,7 +42,7 @@ func (v *validator) run() {
 
 	// 1. A query must start with a command token.
 	if v.tree.SyntheticRoot {
-		v.errorf("no-command", "", `Please start your query with a command word such as "Return", "Find" or "List".`,
+		v.errorf(CodeNoCommand, "", `Please start your query with a command word such as "Return", "Find" or "List".`,
 			"I could not find a command word telling me what to do.")
 	}
 
@@ -58,21 +58,23 @@ func (v *validator) run() {
 			if sugg != "" {
 				hint = fmt.Sprintf("Try rephrasing with %q.", sugg)
 			}
-			v.errorf("unknown-term", n.Lemma, hint,
+			v.errorf(CodeUnknownTerm, n.Lemma, hint,
 				"I do not understand the term %q in your query.", n.Text)
 		case PM:
-			v.warnf("pronoun", n.Lemma,
+			v.warnf(CodePronoun, n.Lemma,
 				"The pronoun %q may be ambiguous; I assume it refers to the nearest preceding name.", n.Text)
 		case OT:
 			if len(operandChildren(n)) == 0 && !hasNTAncestor(n) {
-				v.errorf("dangling-operator", n.Lemma, `State both sides of the comparison, e.g. "where the year is after 1991".`,
+				v.errorf(CodeDanglingOperator, n.Lemma, `State both sides of the comparison, e.g. "where the year is after 1991".`,
 					"The comparison %q has nothing to compare.", n.Text)
 			}
 		case FT:
 			if len(n.Children) == 0 {
-				v.errorf("dangling-function", n.Lemma, fmt.Sprintf("Say what %q applies to, e.g. %q.", n.Text, n.Text+" books"),
+				v.errorf(CodeDanglingFunction, n.Lemma, fmt.Sprintf("Say what %q applies to, e.g. %q.", n.Text, n.Text+" books"),
 					"The function %q is not applied to anything.", n.Text)
 			}
+		default:
+			// Every other token type is structurally fine on its own.
 		}
 	}
 	if len(v.res.Errors) > 0 {
@@ -81,7 +83,7 @@ func (v *validator) run() {
 
 	// 3. The command must return something.
 	if len(root.Children) == 0 {
-		v.errorf("no-return", root.Lemma, `Tell me what to return, e.g. "Return all books".`,
+		v.errorf(CodeNoReturn, root.Lemma, `Tell me what to return, e.g. "Return all books".`,
 			"I could not find what your query asks for.")
 		return
 	}
@@ -102,13 +104,13 @@ func (v *validator) run() {
 		}
 		labels := v.matchLabels(n.Lemma)
 		if len(labels) == 0 {
-			v.errorf("unmatched-name", n.Lemma, v.suggestLabels(n.Lemma),
+			v.errorf(CodeUnmatchedName, n.Lemma, v.suggestLabels(n.Lemma),
 				"Nothing in the database is called %q.", n.Text)
 			continue
 		}
 		v.labels[n] = labels
 		if len(labels) > 1 {
-			v.warnf("ambiguous-name", n.Lemma,
+			v.warnf(CodeAmbiguousName, n.Lemma,
 				"%q matches several element names (%s); I will search all of them.",
 				n.Text, strings.Join(labels, ", "))
 		}
@@ -197,6 +199,9 @@ func (v *validator) insertImplicitNTs() {
 				switch parent.Cmp {
 				case nlp.CmpContains, nlp.CmpStarts, nlp.CmpEnds, nlp.CmpPhrase:
 					continue // substring/phrase match against the subject
+				default:
+					// Ordered comparisons fall through to the
+					// type-compatibility check below.
 				}
 				if labelsIntersect(v.subjectLabels(subject), v.valueLabels(n)) {
 					continue
@@ -210,7 +215,7 @@ func (v *validator) insertImplicitNTs() {
 		}
 		labels := v.valueLabels(n)
 		if len(labels) == 0 {
-			v.errorf("unmatched-value", n.Lemma,
+			v.errorf(CodeUnmatchedValue, n.Lemma,
 				"Check the spelling, or name the element the value belongs to.",
 				"I could not find anything in the database with the value %q.", n.Text)
 			continue
@@ -224,7 +229,7 @@ func (v *validator) insertImplicitNTs() {
 		n.InsertAbove(nt)
 		v.labels[nt] = labels
 		if len(labels) > 1 {
-			v.warnf("ambiguous-value", n.Lemma,
+			v.warnf(CodeAmbiguousValue, n.Lemma,
 				"%q could be the value of several elements (%s); I will search all of them.",
 				n.Text, strings.Join(labels, ", "))
 		}
@@ -294,6 +299,8 @@ func tokenHead(n *nlp.Node) *nlp.Node {
 				return h
 			}
 		}
+	default:
+		// Values, markers and command tokens head nothing.
 	}
 	return nil
 }
@@ -337,43 +344,8 @@ func (v *validator) valueLabels(vt *nlp.Node) []string {
 // range, so a year like 1991 maps to "year" even when no element has that
 // exact value. Label profiles are computed once per document.
 func (v *validator) numericLabels(f float64) []string {
-	if v.t.numericSpans == nil {
-		spans := map[string]numericSpan{}
-		for _, n := range v.t.doc.Nodes() {
-			if n.Kind != xmldb.ElementNode && n.Kind != xmldb.AttributeNode {
-				continue
-			}
-			// Only leaves hold comparable numbers.
-			leaf := true
-			for _, c := range n.Children {
-				if c.Kind == xmldb.ElementNode {
-					leaf = false
-					break
-				}
-			}
-			if !leaf {
-				continue
-			}
-			s, ok := spans[n.Label]
-			if !ok {
-				s = numericSpan{lo: 1e308, hi: -1e308}
-			}
-			s.total++
-			if x, err := strconv.ParseFloat(strings.TrimSpace(n.Value()), 64); err == nil {
-				s.numeric++
-				if x < s.lo {
-					s.lo = x
-				}
-				if x > s.hi {
-					s.hi = x
-				}
-			}
-			spans[n.Label] = s
-		}
-		v.t.numericSpans = spans
-	}
 	var out []string
-	for label, s := range v.t.numericSpans {
+	for label, s := range v.t.labelSpans() {
 		if s.numeric == 0 || s.numeric*2 < s.total {
 			continue // mostly non-numeric content
 		}
@@ -399,8 +371,9 @@ func operandChildren(ot *nlp.Node) []*nlp.Node {
 		switch Classify(c) {
 		case NEG, GM, PM:
 			continue
+		default:
+			out = append(out, c)
 		}
-		out = append(out, c)
 	}
 	return out
 }

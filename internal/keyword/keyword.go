@@ -109,20 +109,24 @@ func (e *Engine) Search(query string) []Result {
 		}
 		meets = next
 	}
-	// Keep only the deepest meets (nearest concepts).
-	maxDepth := -1
+	// Keep only the deepest meets (nearest concepts), in document order.
+	var nodes []*xmldb.Node
 	for m := range meets {
+		nodes = append(nodes, m)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pre < nodes[j].Pre })
+	maxDepth := -1
+	for _, m := range nodes {
 		if m.Depth > maxDepth {
 			maxDepth = m.Depth
 		}
 	}
 	var out []Result
-	for m := range meets {
+	for _, m := range nodes {
 		if m.Depth == maxDepth {
 			out = append(out, Result{Node: m, Depth: m.Depth})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node.Pre < out[j].Node.Pre })
 	return out
 }
 

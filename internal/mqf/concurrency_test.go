@@ -1,0 +1,44 @@
+package mqf
+
+import (
+	"sync"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+// TestConcurrentMLCADepth hammers one Checker's memo from many
+// goroutines; under -race this proves the cache mutex.
+func TestConcurrentMLCADepth(t *testing.T) {
+	const xml = `<bib>
+	  <book><title>A</title><author>X</author></book>
+	  <book><title>B</title><author>Y</author></book>
+	  <book><title>C</title><author>X</author></book>
+	</bib>`
+	doc, err := xmldb.ParseString("bib.xml", xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(doc)
+	titles := doc.NodesByLabel("title")
+	authors := doc.NodesByLabel("author")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, ti := range titles {
+					for _, a := range authors {
+						c.Related(ti, a)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Spot-check a memoized answer is still right after the stampede.
+	if d := c.MLCADepth(titles[0], "author"); d < 0 {
+		t.Errorf("MLCADepth(title[0], author) = %d, want >= 0", d)
+	}
+}

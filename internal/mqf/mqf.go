@@ -10,14 +10,19 @@
 package mqf
 
 import (
+	"sync"
+
 	"nalix/internal/xmldb"
 )
 
 // Checker answers meaningful-relatedness queries against one document. It
 // memoizes mlca-depth lookups, which dominate the cost of evaluating
-// where-clauses containing mqf() over large variable domains.
+// where-clauses containing mqf() over large variable domains. Checkers
+// are safe for concurrent use: the memo is the only mutable state and mu
+// guards it.
 type Checker struct {
 	doc   *xmldb.Document
+	mu    sync.Mutex
 	cache map[depthKey]int
 }
 
@@ -36,17 +41,25 @@ func NewChecker(doc *xmldb.Document) *Checker {
 // such ancestor exists (label absent from the document).
 func (c *Checker) MLCADepth(n *xmldb.Node, label string) int {
 	key := depthKey{n.ID, label}
-	if d, ok := c.cache[key]; ok {
+	c.mu.Lock()
+	d, ok := c.cache[key]
+	c.mu.Unlock()
+	if ok {
 		return d
 	}
+	// Compute outside the lock — the document is immutable and a racing
+	// duplicate computation writes the same value.
+	doc := c.doc
 	depth := -1
 	for p := n; p != nil; p = p.Parent {
-		if c.doc.SubtreeContainsLabel(p, label, n) {
+		if doc.SubtreeContainsLabel(p, label, n) {
 			depth = p.Depth
 			break
 		}
 	}
+	c.mu.Lock()
 	c.cache[key] = depth
+	c.mu.Unlock()
 	return depth
 }
 

@@ -1,0 +1,43 @@
+package nlp
+
+import "testing"
+
+// FuzzParseNL drives the English parser with arbitrary sentences: it
+// must never panic, and an accepted tree must have a printable form and
+// consistent parent links.
+func FuzzParseNL(f *testing.F) {
+	seeds := []string{
+		`Find all books published by "Addison-Wesley" after 1991.`,
+		`Return the directors of movies, where the title of each movie is the same as the title of a book.`,
+		`Return every director, where the number of movies directed by the director is the same as the number of movies directed by Ron Howard.`,
+		`List the titles of books whose publisher is "Addison-Wesley" or "Morgan Kaufmann Publishers".`,
+		`Return the total number of books, sorted by year.`,
+		`Show me everything`,
+		`where where where`,
+		`"unterminated quote`,
+		`1991 1992 1993`,
+		``,
+		`Return`,
+		`the and or not`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sentence string) {
+		tree, err := Parse(sentence)
+		if err != nil {
+			return
+		}
+		if tree.Root == nil {
+			t.Fatal("accepted tree has nil root")
+		}
+		_ = tree.String()
+		for _, n := range tree.Nodes() {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatalf("child %q of %q has wrong parent link", c.Text, n.Text)
+				}
+			}
+		}
+	})
+}

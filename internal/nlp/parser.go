@@ -214,6 +214,8 @@ func verbLike(words []Word, i int, sofar []*Node) string {
 		switch sofar[len(sofar)-1].Cat {
 		case CatNoun, CatAux, CatValue, CatRel, CatNeg, CatQuant, CatPron:
 			return VerbLemma(w)
+		default:
+			// After any other category the -ed/-ing word is not verbal.
 		}
 	}
 	return ""
@@ -365,8 +367,9 @@ func (p *treeParser) conjExtendsNP() bool {
 	switch p.items[i].Cat {
 	case CatNoun, CatValue, CatArticle, CatQuant, CatAggregate, CatAdj, CatPron:
 		return !p.npThenPredicate(i)
+	default:
+		return false
 	}
-	return false
 }
 
 // npThenPredicate reports whether the tokens starting at index i look like
@@ -379,6 +382,8 @@ func (p *treeParser) npThenPredicate(i int) bool {
 		case CatArticle, CatAdj, CatQuant, CatAggregate, CatPron:
 			i++
 			continue
+		default:
+			// The determiner prefix ends here.
 		}
 		break
 	}
@@ -401,8 +406,9 @@ func (p *treeParser) npThenPredicate(i int) bool {
 	switch p.items[i].Cat {
 	case CatCompare, CatVerb, CatNeg:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 func (p *treeParser) startsNP() bool {
@@ -413,8 +419,9 @@ func (p *treeParser) startsNP() bool {
 	switch c.Cat {
 	case CatNoun, CatValue, CatArticle, CatQuant, CatAggregate, CatAdj, CatPron:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // parseNPInto parses an NP and attaches it to parent, tolerating a leading
@@ -469,6 +476,8 @@ func (p *treeParser) parseNP(parent *Node) *Node {
 		case CatAdj:
 			mods = append(mods, p.advance().Lemma)
 			continue
+		default:
+			// Anything else ends the determiner chain.
 		}
 		break
 	}
@@ -604,6 +613,8 @@ func (p *treeParser) parseNP(parent *Node) *Node {
 				p.parseClause(head)
 				continue
 			}
+		default:
+			// Anything else belongs to the enclosing phrase.
 		}
 		break
 	}
@@ -635,8 +646,9 @@ func (p *treeParser) relClauseFollows() bool {
 	case CatCompare, CatVerb, CatNeg, CatAux,
 		CatNoun, CatArticle, CatQuant, CatAggregate, CatValue, CatPron, CatAdj:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // parseClause parses a predicate clause and attaches its operator to the

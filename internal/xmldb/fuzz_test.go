@@ -1,0 +1,50 @@
+package xmldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXML drives the XML parser with arbitrary bytes: it must
+// either return an error or produce a document whose serialization
+// round-trips through the parser without panicking.
+func FuzzParseXML(f *testing.F) {
+	seeds := []string{
+		`<bib><book year="1994"><title>TCP/IP Illustrated</title></book></bib>`,
+		`<movies><movie><title>Traffic</title><director>Steven Soderbergh</director></movie>2000</movies>`,
+		`<a><b attr="x&amp;y">text</b><b/></a>`,
+		`<root>plain text</root>`,
+		`<a><b><c><d>deep</d></c></b></a>`,
+		`<x y="1" z="2"/>`,
+		`not xml at all`,
+		`<unclosed>`,
+		`<a></b>`,
+		``,
+		`<a>&#65;&lt;&gt;</a>`,
+		`<ns:tag xmlns:ns="http://example.com">qualified</ns:tag>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString("fuzz.xml", src)
+		if err != nil {
+			return
+		}
+		if doc.Root == nil {
+			t.Fatal("nil root on accepted document")
+		}
+		// The accepted tree must serialize and re-parse.
+		out := SerializeString(doc.Root)
+		if _, err := ParseString("fuzz2.xml", out); err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\ninput: %q\nserialized: %q", err, src, out)
+		}
+		// Index invariants must hold on whatever was accepted.
+		for _, n := range doc.Nodes() {
+			if n.Post < n.Pre {
+				t.Fatalf("node %q has Post %d < Pre %d", n.Label, n.Post, n.Pre)
+			}
+		}
+		_ = strings.TrimSpace(doc.Root.Value())
+	})
+}

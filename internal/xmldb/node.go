@@ -279,6 +279,8 @@ func (d *Document) finalize() {
 		switch n.Kind {
 		case ElementNode, AttributeNode:
 			d.byLabel[n.Label] = append(d.byLabel[n.Label], n)
+		default:
+			// Document and text nodes have no label to index.
 		}
 		for _, c := range n.Children {
 			c.Parent = n

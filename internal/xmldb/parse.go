@@ -155,6 +155,8 @@ func Serialize(w io.Writer, n *Node) error {
 			}
 			_, err := fmt.Fprintf(w, "</%s>", n.Label)
 			return err
+		default:
+			// ElementNode: the full open/attrs/content/close form below.
 		}
 		if _, err := fmt.Fprintf(w, "<%s", n.Label); err != nil {
 			return err
@@ -202,7 +204,12 @@ func Serialize(w io.Writer, n *Node) error {
 // SerializeString returns the subtree rooted at n as an XML string.
 func SerializeString(n *Node) string {
 	var sb strings.Builder
-	_ = Serialize(&sb, n)
+	if err := Serialize(&sb, n); err != nil {
+		// Writing to a strings.Builder cannot fail; an error can only
+		// mean xml.EscapeText rejected the content, which Parse would
+		// have refused to produce.
+		panic("xmldb: serializing in-memory tree: " + err.Error())
+	}
 	return sb.String()
 }
 

@@ -297,7 +297,7 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 	readyAt := make([]int, len(conjuncts))
 	for ci, c := range conjuncts {
 		level := 0
-		for v := range freeVars(c) {
+		for _, v := range sortedVars(freeVars(c)) {
 			if _, ok := env0.lookup(v); ok {
 				continue
 			}
@@ -524,8 +524,13 @@ func (e *Engine) docForNode(n *xmldb.Node) *xmldb.Document {
 	for root.Parent != nil {
 		root = root.Parent
 	}
-	for _, d := range e.docs {
-		if d.Root == root {
+	var names []string
+	for name := range e.docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if d := e.docs[name]; d.Root == root {
 			return d
 		}
 	}

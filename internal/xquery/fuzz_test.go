@@ -1,0 +1,36 @@
+package xquery
+
+import "testing"
+
+// FuzzParseXQuery drives the XQuery parser with arbitrary strings: every
+// input must either fail with an error or yield an AST that Print can
+// render and Parse can accept again.
+func FuzzParseXQuery(f *testing.F) {
+	seeds := []string{
+		`for $b in doc("bib.xml")//book where $b/year > 1991 return $b/title`,
+		`for $m in doc()//movie, $t in doc()//title where mqf($m, $t) return <r>{$t}</r>`,
+		`let $c := count(doc()//book) return $c + 1`,
+		`for $b in doc()//book order by $b/title descending return $b`,
+		`some $x in doc()//year satisfies $x = 2000`,
+		`for $a in doc()//author return <author name="{$a}">{$a}</author>`,
+		`(1, 2, 3)`,
+		`"a string" = "another"`,
+		`for $x in`,
+		`}{`,
+		``,
+		`1 div 0`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(e)
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+	})
+}

@@ -153,6 +153,20 @@ func (l *lexer) scan() (token, error) {
 		for l.off < len(l.src) && (l.src[l.off] >= '0' && l.src[l.off] <= '9' || l.src[l.off] == '.') {
 			l.off++
 		}
+		// Exponent part of a double literal: e/E, optional sign, digits.
+		// Without trailing digits the e belongs to a following identifier.
+		if l.off < len(l.src) && (l.src[l.off] == 'e' || l.src[l.off] == 'E') {
+			j := l.off + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				for j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+					j++
+				}
+				l.off = j
+			}
+		}
 		return token{kind: tokNumber, text: l.src[start:l.off], pos: pos}, nil
 	}
 	if isNameStart(rune(c)) {

@@ -29,6 +29,15 @@ type parser struct {
 	lex *lexer
 }
 
+// consumePeeked advances past a token that peek/peek2 has already
+// produced. The lexer cannot fail re-reading a buffered token, so an
+// error here is a parser bug and panics rather than being dropped.
+func (p *parser) consumePeeked() {
+	if _, err := p.lex.next(); err != nil {
+		panic("xquery: lexer failed on an already-peeked token: " + err.Error())
+	}
+}
+
 func (p *parser) expectSymbol(s string) error {
 	t, err := p.lex.next()
 	if err != nil {
@@ -114,7 +123,10 @@ func (p *parser) parseFLWOR() (Expr, error) {
 	}
 clausesDone:
 	if len(f.Clauses) == 0 {
-		t, _ := p.lex.peek()
+		t, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
 		return nil, p.lex.errf(t.pos, "FLWOR expression needs at least one for/let clause")
 	}
 	if p.peekIsKeyword("where") {
@@ -128,7 +140,10 @@ clausesDone:
 		f.Where = w
 	}
 	if p.peekIsKeyword("order") || p.peekIsKeyword("orderby") {
-		t, _ := p.lex.next()
+		t, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
 		if t.text == "order" {
 			if err := p.expectKeyword("by"); err != nil {
 				return nil, err
@@ -141,9 +156,9 @@ clausesDone:
 			}
 			spec := OrderSpec{Key: key}
 			if p.peekIsKeyword("ascending") {
-				_, _ = p.lex.next()
+				p.consumePeeked()
 			} else if p.peekIsKeyword("descending") {
-				_, _ = p.lex.next()
+				p.consumePeeked()
 				spec.Descending = true
 			}
 			f.OrderBy = append(f.OrderBy, spec)
@@ -383,13 +398,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 	}
 	switch t.kind {
 	case tokVar:
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		return &VarRef{Name: t.text}, nil
 	case tokString:
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		return &StringLit{Value: t.text}, nil
 	case tokNumber:
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
 			return nil, p.lex.errf(t.pos, "bad number %q", t.text)
@@ -398,10 +413,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokSymbol:
 		switch t.text {
 		case "(":
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			return p.parseParenSeq()
 		case "{":
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			inner, err := p.parseExprSingle()
 			if err != nil {
 				return nil, err
@@ -413,7 +428,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		case "<":
 			return p.parseElementCtor()
 		case "-":
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			operand, err := p.parsePath()
 			if err != nil {
 				return nil, err
@@ -431,8 +446,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			if nxt.kind == tokSymbol && nxt.text == "(" {
-				_, _ = p.lex.next()
-				_, _ = p.lex.next()
+				p.consumePeeked()
+				p.consumePeeked()
 				nameTok, err := p.lex.next()
 				if err != nil {
 					return nil, err
@@ -445,7 +460,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 				}
 				return &DocRef{Name: nameTok.text}, nil
 			}
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			return &DocRef{}, nil
 		case "true", "false":
 			nxt, err := p.lex.peek2()
@@ -453,8 +468,8 @@ func (p *parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			if nxt.kind == tokSymbol && nxt.text == "(" {
-				_, _ = p.lex.next()
-				_, _ = p.lex.next()
+				p.consumePeeked()
+				p.consumePeeked()
 				if err := p.expectSymbol(")"); err != nil {
 					return nil, err
 				}
@@ -467,21 +482,23 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return nil, err
 		}
 		if nxt.kind == tokSymbol && nxt.text == "(" {
-			_, _ = p.lex.next()
-			_, _ = p.lex.next()
+			p.consumePeeked()
+			p.consumePeeked()
 			return p.parseCallArgs(t.text)
 		}
 		// Bare identifier: a relative path step (e.g. inside
 		// predicates); treat as child step from the default document is
 		// surprising, so reject with guidance.
 		return nil, p.lex.errf(t.pos, "unexpected identifier %q (paths must start with $var, doc, '/' or '//')", t.text)
+	default:
+		// tokEOF and unconsumed symbols fall through to the error below.
 	}
 	return nil, p.lex.errf(t.pos, "unexpected token %q", t.text)
 }
 
 func (p *parser) parseParenSeq() (Expr, error) {
 	if p.peekIsSymbol(")") {
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		return &SeqExpr{}, nil
 	}
 	var items []Expr
@@ -492,7 +509,7 @@ func (p *parser) parseParenSeq() (Expr, error) {
 		}
 		items = append(items, e)
 		if p.peekIsSymbol(",") {
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			continue
 		}
 		break
@@ -509,7 +526,7 @@ func (p *parser) parseParenSeq() (Expr, error) {
 func (p *parser) parseCallArgs(name string) (Expr, error) {
 	call := &FuncCall{Name: name}
 	if p.peekIsSymbol(")") {
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		return call, nil
 	}
 	for {
@@ -519,7 +536,7 @@ func (p *parser) parseCallArgs(name string) (Expr, error) {
 		}
 		call.Args = append(call.Args, arg)
 		if p.peekIsSymbol(",") {
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			continue
 		}
 		break
@@ -557,7 +574,7 @@ func (p *parser) parseQuantified() (Expr, error) {
 	}
 	// A braced body is common in the paper's generated queries.
 	if p.peekIsSymbol("{") {
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		body, err := p.parseExprSingle()
 		if err != nil {
 			return nil, err
@@ -606,11 +623,11 @@ func (p *parser) parseElementRest(name string) (Expr, error) {
 			return nil, err
 		}
 		if t.kind == tokSymbol && t.text == ">" {
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			break
 		}
 		if t.kind == tokSymbol && t.text == "/" {
-			_, _ = p.lex.next()
+			p.consumePeeked()
 			if err := p.expectSymbol(">"); err != nil {
 				return nil, err
 			}
@@ -619,7 +636,7 @@ func (p *parser) parseElementRest(name string) (Expr, error) {
 		if t.kind != tokIdent {
 			return nil, p.lex.errf(t.pos, "expected attribute name or '>' in element constructor, found %q", t.text)
 		}
-		_, _ = p.lex.next()
+		p.consumePeeked()
 		if err := p.expectSymbol("="); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package xquery
 
 import (
+	"sort"
+
 	"nalix/internal/xmldb"
 )
 
@@ -20,6 +22,17 @@ func splitConjuncts(e Expr) []Expr {
 func freeVars(e Expr) map[string]bool {
 	out := make(map[string]bool)
 	collectFree(e, map[string]bool{}, out)
+	return out
+}
+
+// sortedVars lists a variable set in lexical order, so every walk over
+// free variables visits them deterministically.
+func sortedVars(set map[string]bool) []string {
+	var out []string
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -196,7 +209,7 @@ func orderClauses(e *Engine, f *FLWOR, env0 *env, conjuncts []Expr) []int {
 		return ok
 	}
 	admissible := func(i int) bool {
-		for v := range free[i] {
+		for _, v := range sortedVars(free[i]) {
 			if !isBound(v) {
 				return false
 			}

@@ -20,6 +20,13 @@ func indent(sb *strings.Builder, depth int) {
 	}
 }
 
+// quoteString renders a string literal the way the lexer reads one back:
+// double-quoted, with embedded double quotes escaped by doubling (the
+// XQuery convention — the lexer has no backslash escapes).
+func quoteString(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // printExpr writes e; topLevel selects the multi-line clause layout for
 // FLWOR expressions.
 func printExpr(sb *strings.Builder, e Expr, depth int, topLevel bool) {
@@ -30,12 +37,12 @@ func printExpr(sb *strings.Builder, e Expr, depth int, topLevel bool) {
 		if x.Name == "" {
 			sb.WriteString("doc")
 		} else {
-			fmt.Fprintf(sb, "doc(%q)", x.Name)
+			sb.WriteString("doc(" + quoteString(x.Name) + ")")
 		}
 	case *VarRef:
 		sb.WriteString("$" + x.Name)
 	case *StringLit:
-		fmt.Fprintf(sb, "%q", x.Value)
+		sb.WriteString(quoteString(x.Value))
 	case *NumberLit:
 		sb.WriteString(FormatNumber(x.Value))
 	case *PathExpr:

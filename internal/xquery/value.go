@@ -170,6 +170,8 @@ func FlattenValues(s Sequence) []string {
 			return
 		case xmldb.TextNode:
 			return
+		default:
+			// Elements and document roots are walked below.
 		}
 		leaf := true
 		for _, c := range n.Children {

@@ -26,6 +26,7 @@ package nalix
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"nalix/internal/core"
@@ -88,18 +89,21 @@ func (e *Engine) AddSynonyms(terms ...string) {
 	e.ont.AddGroup(terms...)
 }
 
-// Documents lists the loaded document names (default document first).
+// Documents lists the loaded document names: default document first,
+// the rest alphabetical, so the listing is stable across calls.
 func (e *Engine) Documents() []string {
 	var out []string
 	if e.defName != "" {
 		out = append(out, e.defName)
 	}
+	var rest []string
 	for name := range e.translators {
 		if name != e.defName {
-			out = append(out, name)
+			rest = append(rest, name)
 		}
 	}
-	return out
+	sort.Strings(rest)
+	return append(out, rest...)
 }
 
 // Feedback is one validation message: an error (query rejected, rephrase
@@ -212,7 +216,7 @@ func (e *Engine) translate(docName, english string) (*core.Result, *Answer, erro
 func convertFeedback(f core.Feedback, isErr bool) Feedback {
 	return Feedback{
 		IsError:    isErr,
-		Code:       f.Code,
+		Code:       string(f.Code),
 		Term:       f.Term,
 		Message:    f.Message,
 		Suggestion: f.Suggestion,
