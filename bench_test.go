@@ -17,6 +17,7 @@ import (
 	"nalix/internal/dataset"
 	"nalix/internal/keyword"
 	"nalix/internal/nlp"
+	"nalix/internal/obs"
 	"nalix/internal/study"
 	"nalix/internal/xmldb"
 	"nalix/internal/xmp"
@@ -150,6 +151,62 @@ func BenchmarkEndToEndAsk(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAsk measures the full Ask path with tracing off and on. The
+// untraced run is the zero-overhead contract of the observability layer:
+// it must stay within noise of the pre-instrumentation baseline, since
+// disabled tracing threads only nil spans (no-ops) through the pipeline.
+// Headline numbers live in BENCH_obs.json.
+func BenchmarkAsk(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		e := New()
+		if err := e.LoadXMLString("bib.xml", bibXML); err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			e.EnableTracing(4)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ans, err := e.Ask("", `Find all books published by "Addison-Wesley" after 1991.`)
+			if err != nil || !ans.Accepted {
+				b.Fatalf("ask: %v %v", err, ans)
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkEvalStage measures the XQuery evaluation stage alone, traced
+// vs untraced, on the paper-scale corpus. Traced evaluation pays for
+// clock reads around the planner, each clause-domain evaluation, and each
+// mqf() call, plus the aggregate flush.
+func BenchmarkEvalStage(b *testing.B) {
+	eng := xquery.NewEngine()
+	eng.AddDocument(corpus())
+	tr := core.NewTranslator(corpus(), nil)
+	res, err := tr.Translate(`Return the year and title of books published by "Addison-Wesley" after 1991.`)
+	if err != nil || !res.Valid() {
+		b.Fatalf("translate: %v", err)
+	}
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Eval(res.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := obs.NewTrace("eval")
+			if _, err := eng.EvalTraced(res.Query, t.Root()); err != nil {
+				b.Fatal(err)
+			}
+			t.Finish()
+		}
+	})
 }
 
 // BenchmarkKeywordSearch measures the Meet-operator baseline on the

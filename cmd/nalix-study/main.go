@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	nalix-study [-participants 18] [-seed 2006] [-scale 1] [-trials]
+//	nalix-study [-participants 18] [-seed 2006] [-scale 1] [-trials] [-metrics]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"nalix/internal/obs"
 	"nalix/internal/study"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 2006, "simulation seed")
 	scale := flag.Int("scale", 1, "dataset scale factor (1 = the paper's corpus size)")
 	trials := flag.Bool("trials", false, "also dump every individual trial")
+	metrics := flag.Bool("metrics", false, "dump the runtime telemetry registry (counters, histograms) as JSON after the run")
 	flag.Parse()
 
 	cfg := study.DefaultConfig()
@@ -51,5 +53,16 @@ func main() {
 				t.PR.Precision, t.PR.Recall, t.SpecifiedCorrectly, t.ParsedCorrectly,
 				t.FinalPhrasing)
 		}
+	}
+
+	if *metrics {
+		// Every simulated query ran through the instrumented pipeline, so
+		// the process registry now holds the study's runtime telemetry.
+		b, err := obs.Default.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nalix-study: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
 	}
 }

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	nalix [-doc file.xml] [-corpus movies|library|dblp] [-tree] [-keyword] [query ...]
+//	nalix [-doc file.xml] [-corpus movies|library|bib|dblp] [-tree] [-keyword] [-explain] [-trace] [query ...]
 //
 // With query arguments it answers them and exits; without, it reads
-// questions from stdin, one per line.
+// questions from stdin, one per line. -explain prints each query's
+// pipeline span tree (parse, classify, validate, translate, plan, eval,
+// mqf, serialize) with timings; -trace prints the same trace as JSON.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +27,28 @@ import (
 	"nalix/internal/xmldb"
 )
 
+// display bundles the output switches of the answer loop.
+type display struct {
+	tree    bool
+	keyword bool
+	explain bool
+	trace   bool
+}
+
 func main() {
 	docPath := flag.String("doc", "", "XML file to load")
-	corpus := flag.String("corpus", "library", "built-in corpus when -doc is absent: movies, library, bib or dblp")
-	showTree := flag.Bool("tree", false, "print the dependency parse tree of each query")
-	useKeyword := flag.Bool("keyword", false, "treat input as keyword queries (baseline interface)")
+	corpus := flag.String("corpus", "bib", "built-in corpus when -doc is absent: movies, library, bib or dblp")
+	var d display
+	flag.BoolVar(&d.tree, "tree", false, "print the dependency parse tree of each query")
+	flag.BoolVar(&d.keyword, "keyword", false, "treat input as keyword queries (baseline interface)")
+	flag.BoolVar(&d.explain, "explain", false, "print each query's pipeline span tree with timings")
+	flag.BoolVar(&d.trace, "trace", false, "print each query's trace as JSON")
 	flag.Parse()
 
 	eng := nalix.New()
+	if d.explain || d.trace {
+		eng.EnableTracing(0)
+	}
 	name, err := load(eng, *docPath, *corpus)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nalix:", err)
@@ -41,7 +58,7 @@ func main() {
 
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {
-			answer(eng, q, *showTree, *useKeyword)
+			answer(eng, q, d)
 		}
 		return
 	}
@@ -59,7 +76,7 @@ func main() {
 		if line == "quit" || line == "exit" {
 			break
 		}
-		answer(eng, line, *showTree, *useKeyword)
+		answer(eng, line, d)
 	}
 }
 
@@ -93,8 +110,8 @@ func load(eng *nalix.Engine, docPath, corpus string) (string, error) {
 	return doc.Name, eng.LoadXMLString(doc.Name, sb.String())
 }
 
-func answer(eng *nalix.Engine, q string, showTree, useKeyword bool) {
-	if useKeyword {
+func answer(eng *nalix.Engine, q string, d display) {
+	if d.keyword {
 		hits, err := eng.KeywordSearch("", q)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "keyword search:", err)
@@ -102,6 +119,11 @@ func answer(eng *nalix.Engine, q string, showTree, useKeyword bool) {
 		}
 		fmt.Printf("%d results\n", len(hits))
 		printCapped(hits)
+		// KeywordSearch returns bare results; its trace is the newest
+		// retained one.
+		if traces := eng.RecentTraces(); len(traces) > 0 {
+			printTrace(traces[len(traces)-1], d)
+		}
 		return
 	}
 	ans, err := eng.Ask("", q)
@@ -109,7 +131,7 @@ func answer(eng *nalix.Engine, q string, showTree, useKeyword bool) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
-	if showTree {
+	if d.tree {
 		fmt.Print(ans.ParseTree)
 		for _, b := range ans.Bindings {
 			marks := ""
@@ -126,6 +148,7 @@ func answer(eng *nalix.Engine, q string, showTree, useKeyword bool) {
 		fmt.Println(f)
 	}
 	if !ans.Accepted {
+		printTrace(ans.Trace, d)
 		return
 	}
 	fmt.Println("translated query:")
@@ -134,6 +157,29 @@ func answer(eng *nalix.Engine, q string, showTree, useKeyword bool) {
 	}
 	fmt.Printf("%d results\n", len(ans.Results))
 	printCapped(ans.Results)
+	printTrace(ans.Trace, d)
+}
+
+// printTrace renders a query's trace as requested: an indented span tree
+// with timings for -explain, indented JSON for -trace.
+func printTrace(tr *nalix.Trace, d display) {
+	if tr == nil {
+		return
+	}
+	if d.explain {
+		fmt.Println("explain:")
+		for _, line := range strings.Split(strings.TrimRight(tr.Render(), "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+	}
+	if d.trace {
+		b, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			return
+		}
+		fmt.Println(string(b))
+	}
 }
 
 func printCapped(items []string) {

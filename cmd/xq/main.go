@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"nalix/internal/dataset"
+	"nalix/internal/obs"
 	"nalix/internal/xmldb"
 	"nalix/internal/xquery"
 )
@@ -30,6 +31,7 @@ func main() {
 	flag.Var(&docs, "doc", "XML file to load (repeatable)")
 	corpus := flag.String("corpus", "", "built-in corpus to load: movies, library, bib or dblp")
 	values := flag.Bool("values", false, "print flattened element/attribute values instead of XML")
+	explain := flag.Bool("explain", false, "print the evaluation span tree (plan, per-clause work, mqf) with timings on stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -68,7 +70,20 @@ func main() {
 		fatal(fmt.Errorf("no documents loaded (use -doc or -corpus)"))
 	}
 
-	res, err := eng.Query(flag.Arg(0))
+	var tr *obs.Trace
+	if *explain {
+		tr = obs.NewTrace("query")
+	}
+	root := tr.Root()
+	psp := root.Start("parse")
+	expr, err := xquery.Parse(flag.Arg(0))
+	psp.End()
+	if err != nil {
+		fatal(err)
+	}
+	esp := root.Start("eval")
+	res, err := eng.EvalTraced(expr, esp)
+	esp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -76,13 +91,17 @@ func main() {
 		for _, v := range xquery.FlattenValues(res) {
 			fmt.Println(v)
 		}
-		return
+	} else {
+		out := xquery.SerializeSequence(res)
+		if out != "" {
+			fmt.Println(out)
+		}
+		fmt.Fprintf(os.Stderr, "(%d items)\n", len(res))
 	}
-	out := xquery.SerializeSequence(res)
-	if out != "" {
-		fmt.Println(out)
+	if tr != nil {
+		tr.Finish()
+		fmt.Fprint(os.Stderr, tr.Render())
 	}
-	fmt.Fprintf(os.Stderr, "(%d items)\n", len(res))
 }
 
 func fatal(err error) {

@@ -10,14 +10,24 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
 	"nalix/internal/nlp"
+	"nalix/internal/obs"
 	"nalix/internal/ontology"
 	"nalix/internal/xmldb"
 	"nalix/internal/xquery"
+)
+
+// Always-on process counters for the translation pipeline.
+var (
+	translationsTotal  = obs.NewCounter("translations_total")
+	ontologyExpansions = obs.NewCounter("ontology_expansions")
+	spanCacheHits      = obs.NewCounter("translator_spancache_hits")
+	spanCacheMisses    = obs.NewCounter("translator_spancache_misses")
 )
 
 // TokenType is the NaLIX token/marker classification of a parse tree node
@@ -219,7 +229,10 @@ func (t *Translator) labelSpans() map[string]numericSpan {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.numericSpans == nil {
+		spanCacheMisses.Add(1)
 		t.numericSpans = computeSpans(doc)
+	} else {
+		spanCacheHits.Add(1)
 	}
 	return t.numericSpans
 }
@@ -317,25 +330,77 @@ type Binding struct {
 // A non-nil error is returned only for unparseable (empty) input;
 // query-level problems are reported through Result.Errors.
 func (t *Translator) Translate(sentence string) (*Result, error) {
-	tree, err := nlp.Parse(sentence)
+	return t.TranslateTraced(sentence, nil)
+}
+
+// TranslateTraced is Translate with pipeline tracing: when sp is
+// non-nil, the parse, classify, validate, and translate stages are
+// recorded as child spans with deterministic attributes (node counts,
+// token-type histogram, feedback codes, binding counts). A nil sp makes
+// it identical to Translate: nothing is recorded and nothing allocated.
+func (t *Translator) TranslateTraced(sentence string, sp *obs.Span) (*Result, error) {
+	translationsTotal.Add(1)
+	psp := sp.Start("parse")
+	tree, err := nlp.ParseTraced(sentence, psp)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Tree: tree}
-	v := &validator{t: t, tree: tree, res: res}
+
+	if csp := sp.Start("classify"); csp != nil {
+		classifySpan(csp, tree)
+		csp.End()
+	}
+
+	vsp := sp.Start("validate")
+	v := &validator{t: t, tree: tree, res: res, sp: vsp}
 	v.run()
+	if vsp != nil {
+		vsp.SetInt("errors", int64(len(res.Errors)))
+		vsp.SetInt("warnings", int64(len(res.Warnings)))
+	}
+	vsp.End()
 	if len(res.Errors) > 0 {
 		return res, nil
 	}
+
+	bsp := sp.Start("translate")
 	b := &builder{t: t, tree: tree, res: res, labels: v.labels}
 	b.run()
 	if res.Query != nil {
 		// A construction bug must surface as an internal error, never as
 		// a confusing runtime failure downstream.
 		if err := xquery.Check(res.Query); err != nil {
+			bsp.End()
 			return nil, fmt.Errorf("core: internal translation error: %w", err)
 		}
 		res.XQuery = xquery.Print(res.Query)
 	}
+	if bsp != nil {
+		bsp.SetInt("bindings", int64(len(res.Bindings)))
+		bsp.SetInt("xquery_bytes", int64(len(res.XQuery)))
+	}
+	bsp.End()
 	return res, nil
+}
+
+// classifySpan annotates the classify stage: how many parse nodes landed
+// in each token/marker class (Tables 1–2), in sorted attribute order so
+// the trace structure is deterministic.
+func classifySpan(csp *obs.Span, tree *nlp.Tree) {
+	nodes := tree.Nodes()
+	csp.SetInt("nodes", int64(len(nodes)))
+	counts := make(map[string]int64)
+	for _, n := range nodes {
+		counts[Classify(n).String()]++
+	}
+	var kinds []string
+	for kind := range counts {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		csp.SetInt(kind, counts[kind])
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"nalix/internal/nlp"
+	"nalix/internal/obs"
 	"nalix/internal/xmldb"
 )
 
@@ -17,12 +18,15 @@ type validator struct {
 	t    *Translator
 	tree *nlp.Tree
 	res  *Result
+	// sp is the validate-stage span, nil when tracing is off.
+	sp *obs.Span
 	// labels records, per NT node, the database labels it denotes
 	// (disjunction when several match).
 	labels map[*nlp.Node][]string
 }
 
 func (v *validator) errorf(code FeedbackCode, term, suggestion, format string, args ...interface{}) {
+	v.countFeedback(code)
 	v.res.Errors = append(v.res.Errors, Feedback{
 		Kind: Error, Code: code, Term: term,
 		Message: fmt.Sprintf(format, args...), Suggestion: suggestion,
@@ -30,10 +34,19 @@ func (v *validator) errorf(code FeedbackCode, term, suggestion, format string, a
 }
 
 func (v *validator) warnf(code FeedbackCode, term, format string, args ...interface{}) {
+	v.countFeedback(code)
 	v.res.Warnings = append(v.res.Warnings, Feedback{
 		Kind: Warning, Code: code, Term: term,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// countFeedback tags one feedback emission twice: process-wide under
+// feedback_total{code=...}, and on the current trace (deterministic per
+// query, so identical queries yield identical trace counters).
+func (v *validator) countFeedback(code FeedbackCode) {
+	obs.Add(obs.Labeled("feedback_total", "code", string(code)), 1)
+	v.sp.Count(obs.Labeled("feedback", "code", string(code)), 1)
 }
 
 func (v *validator) run() {
@@ -129,7 +142,13 @@ func (v *validator) matchLabels(lemma string) []string {
 		}
 		return nil
 	}
-	return v.t.ont.MatchLabels(lemma, v.t.doc.Labels())
+	labels := v.t.ont.MatchLabels(lemma, v.t.doc.Labels())
+	if len(labels) > 0 && !v.t.doc.HasLabel(lemma) {
+		// The ontology, not an exact label match, resolved this term.
+		ontologyExpansions.Add(1)
+		v.sp.Count("ontology_expansions", 1)
+	}
+	return labels
 }
 
 // suggestLabels proposes concrete element names for an unmatched NT.

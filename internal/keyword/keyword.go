@@ -11,8 +11,12 @@ import (
 	"sort"
 	"strings"
 
+	"nalix/internal/obs"
 	"nalix/internal/xmldb"
 )
+
+// keywordSearches counts keyword queries process-wide.
+var keywordSearches = obs.NewCounter("keyword_searches_total")
 
 // Result is one meet node with its rank information.
 type Result struct {
@@ -71,11 +75,21 @@ func (e *Engine) matches(term string) []*xmldb.Node {
 // Search runs a keyword query and returns the deepest meets. Terms are
 // whitespace-separated; quoted phrases stay together.
 func (e *Engine) Search(query string) []Result {
+	return e.SearchTraced(query, nil)
+}
+
+// SearchTraced is Search with stage tracing: when sp is non-nil, the
+// term-matching and meet-computation stages are recorded as child spans
+// with term/match/meet counts. A nil sp is identical to Search.
+func (e *Engine) SearchTraced(query string, sp *obs.Span) []Result {
+	keywordSearches.Add(1)
 	terms := SplitQuery(query)
 	if len(terms) == 0 {
 		return nil
 	}
+	msp := sp.Start("match")
 	matchSets := make([][]*xmldb.Node, 0, len(terms))
+	matched := 0
 	for _, t := range terms {
 		m := e.matches(t)
 		if len(m) == 0 {
@@ -83,11 +97,17 @@ func (e *Engine) Search(query string) []Result {
 			// degrades gracefully rather than returning empty.
 			continue
 		}
+		matched += len(m)
 		matchSets = append(matchSets, m)
 	}
+	msp.SetInt("terms", int64(len(terms)))
+	msp.SetInt("matches", int64(matched))
+	msp.End()
 	if len(matchSets) == 0 {
 		return nil
 	}
+	tsp := sp.Start("meet")
+	defer tsp.End()
 	// Compute meets of combinations. The meet set is built pairwise —
 	// meets(A,B) then meets(result, C) — the standard meet-operator
 	// evaluation. For each node the deepest LCA with a sorted partner
@@ -115,6 +135,7 @@ func (e *Engine) Search(query string) []Result {
 		nodes = append(nodes, m)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pre < nodes[j].Pre })
+	tsp.SetInt("meets", int64(len(nodes)))
 	maxDepth := -1
 	for _, m := range nodes {
 		if m.Depth > maxDepth {

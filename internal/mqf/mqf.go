@@ -12,8 +12,28 @@ package mqf
 import (
 	"sync"
 
+	"nalix/internal/obs"
 	"nalix/internal/xmldb"
 )
+
+// Always-on process counters: the mqf memo cache dominates join cost, so
+// its hit rate is a first-class telemetry signal. Counter handles are
+// hoisted to package init, and — because these sit in the innermost join
+// loops, where even one atomic add per event is measurable (and under the
+// race detector costs more than the join work itself) — events are
+// accumulated locally and flushed to the counters in batches.
+var (
+	cacheHits     = obs.NewCounter("mqf_cache_hits")
+	cacheMisses   = obs.NewCounter("mqf_cache_misses")
+	pairsChecked  = obs.NewCounter("mqf_pairs_checked")
+	relatedChecks = obs.NewCounter("mqf_related_checks")
+)
+
+// statsFlush is the local-accumulation batch size: a Checker publishes its
+// pending cache-hit/miss counts once their sum reaches this many events.
+// Totals therefore trail reality by at most statsFlush-1 events per
+// Checker — irrelevant against the millions a study run produces.
+const statsFlush = 1 << 12
 
 // Checker answers meaningful-relatedness queries against one document. It
 // memoizes mlca-depth lookups, which dominate the cost of evaluating
@@ -24,6 +44,10 @@ type Checker struct {
 	doc   *xmldb.Document
 	mu    sync.Mutex
 	cache map[depthKey]int
+	// Pending cache-hit/miss counts, guarded by mu and flushed to the
+	// package counters in statsFlush-sized batches (see statsFlush).
+	hits   int64
+	misses int64
 }
 
 type depthKey struct {
@@ -43,6 +67,16 @@ func (c *Checker) MLCADepth(n *xmldb.Node, label string) int {
 	key := depthKey{n.ID, label}
 	c.mu.Lock()
 	d, ok := c.cache[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	if c.hits+c.misses >= statsFlush {
+		cacheHits.Add(c.hits)
+		cacheMisses.Add(c.misses)
+		c.hits, c.misses = 0, 0
+	}
 	c.mu.Unlock()
 	if ok {
 		return d
@@ -120,14 +154,28 @@ func (c *Checker) isCollectionTop(l *xmldb.Node) bool {
 // the bound combination survives iff the nodes form a meaningful group.
 // mqf of fewer than two nodes is trivially true.
 func (c *Checker) RelatedAll(nodes []*xmldb.Node) bool {
+	ok, _ := c.RelatedAllCounted(nodes)
+	return ok
+}
+
+// RelatedAllCounted is RelatedAll plus the number of pairs actually
+// examined before the verdict (the check short-circuits on the first
+// unrelated pair), feeding the mqf_pairs_checked telemetry.
+func (c *Checker) RelatedAllCounted(nodes []*xmldb.Node) (bool, int64) {
+	var pairs int64
 	for i := 0; i < len(nodes); i++ {
 		for j := i + 1; j < len(nodes); j++ {
+			pairs++
 			if !c.Related(nodes[i], nodes[j]) {
-				return false
+				pairsChecked.Add(pairs)
+				relatedChecks.Add(pairs)
+				return false, pairs
 			}
 		}
 	}
-	return true
+	pairsChecked.Add(pairs)
+	relatedChecks.Add(pairs)
+	return true, pairs
 }
 
 // RelatedCandidates returns the nodes with the given label that are
@@ -151,14 +199,20 @@ func (c *Checker) RelatedCandidates(u *xmldb.Node, label string) []*xmldb.Node {
 		return nil
 	}
 	var out []*xmldb.Node
+	var checks int64
 	for _, cand := range c.doc.Descendants(p, label) {
+		checks++
 		if c.Related(u, cand) {
 			out = append(out, cand)
 		}
 	}
-	if p.Label == label && c.Related(u, p) {
-		out = append(out, p)
+	if p.Label == label {
+		checks++
+		if c.Related(u, p) {
+			out = append(out, p)
+		}
 	}
+	relatedChecks.Add(checks)
 	return out
 }
 
@@ -191,6 +245,7 @@ func (c *Checker) Groups(labels ...string) []Group {
 		}
 	}
 	var out []Group
+	var checks int64
 	chosen := make([]*xmldb.Node, 0, len(labels))
 	var rec func(i int)
 	rec = func(i int) {
@@ -207,6 +262,7 @@ func (c *Checker) Groups(labels ...string) []Group {
 	next:
 		for _, cand := range cands[i] {
 			for _, prev := range chosen {
+				checks++
 				if !c.Related(prev, cand) {
 					continue next
 				}
@@ -217,5 +273,6 @@ func (c *Checker) Groups(labels ...string) []Group {
 		}
 	}
 	rec(0)
+	relatedChecks.Add(checks)
 	return out
 }

@@ -3,6 +3,8 @@ package nlp
 import (
 	"fmt"
 	"strings"
+
+	"nalix/internal/obs"
 )
 
 // Parse analyzes an English query sentence and produces its dependency
@@ -10,10 +12,21 @@ import (
 // place are attached as CatUnknown nodes for the validator to report. An
 // error is returned only for empty input.
 func Parse(sentence string) (*Tree, error) {
+	return ParseTraced(sentence, nil)
+}
+
+// ParseTraced is Parse with pipeline tracing: when sp is non-nil, the
+// tokenize and attach phases are recorded as child spans. A nil sp makes
+// it identical to Parse, with no recording and no allocation.
+func ParseTraced(sentence string, sp *obs.Span) (*Tree, error) {
+	tsp := sp.Start("tokenize")
 	words := Tokenize(sentence)
+	tsp.SetInt("words", int64(len(words)))
+	tsp.End()
 	if len(words) == 0 {
 		return nil, fmt.Errorf("nlp: empty query")
 	}
+	asp := sp.Start("attach")
 	flat := segment(words)
 	// Auxiliaries carry no query semantics (general markers, Table 2);
 	// they were needed only as context for verb detection.
@@ -31,6 +44,8 @@ func Parse(sentence string) (*Tree, error) {
 	t.nextID = len(flat)
 	p := &treeParser{tree: t, items: flat}
 	p.build()
+	asp.SetInt("nodes", int64(len(flat)))
+	asp.End()
 	return t, nil
 }
 

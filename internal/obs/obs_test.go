@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTrace("ask")
+	root := tr.Root()
+	p := root.Start("parse")
+	p.SetInt("words", 9)
+	p.End()
+	ev := root.Start("eval")
+	ev.AddChild("plan", 1500*time.Nanosecond).SetInt("clauses", 3)
+	ev.Count("mqf_pairs_checked", 12)
+	ev.End()
+	tr.Finish()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+	if name := root.Children()[0].Name(); name != "parse" {
+		t.Fatalf("first child = %q, want parse", name)
+	}
+	if d := ev.Children()[0].Duration(); d != 1500*time.Nanosecond {
+		t.Fatalf("aggregate child duration = %v, want 1.5µs", d)
+	}
+	cs := tr.Counters()
+	if len(cs) != 1 || cs[0].Name != "mqf_pairs_checked" || cs[0].Value != 12 {
+		t.Fatalf("counters = %+v", cs)
+	}
+	s := tr.Structure()
+	for _, want := range []string{"ask", "  parse words=9", "    plan clauses=3", "# mqf_pairs_checked = 12"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Structure missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "ns") && strings.Contains(s, "µs") {
+		t.Errorf("Structure should not contain timings:\n%s", s)
+	}
+	if r := tr.Render(); !strings.Contains(r, "plan 1.5µs") {
+		t.Errorf("Render missing timing:\n%s", r)
+	}
+}
+
+// TestNilSafety drives every Trace/Span method through nil receivers:
+// the disabled-tracing path of the pipeline.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	var sp *Span
+	tr.Finish()
+	tr.Count("x", 1)
+	if tr.Root() != nil || tr.Counters() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	if tr.Render() != "" || tr.Structure() != "" {
+		t.Fatal("nil trace renders content")
+	}
+	tr.ObserveInto(Default)
+	c := sp.Start("x")
+	if c != nil {
+		t.Fatal("Start on nil span returned non-nil")
+	}
+	sp.End()
+	sp.Set("k", "v")
+	sp.SetInt("k", 1)
+	sp.Count("k", 1)
+	if sp.AddChild("x", time.Second) != nil {
+		t.Fatal("AddChild on nil span returned non-nil")
+	}
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Attrs() != nil || sp.Children() != nil {
+		t.Fatal("nil span not inert")
+	}
+}
+
+// TestDisabledPathAllocationFree is the zero-overhead contract: when
+// tracing is off the pipeline holds nil spans, and operating on them
+// must not allocate.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		var sp *Span
+		c := sp.Start("stage")
+		c.Set("k", "v")
+		c.SetInt("n", 42)
+		c.Count("counter", 1)
+		c.AddChild("agg", time.Millisecond)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span operations allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSpanBound(t *testing.T) {
+	tr := NewTrace("root")
+	for i := 0; i < DefaultMaxSpans+10; i++ {
+		tr.Root().Start("s").End()
+	}
+	if tr.Dropped() != 11 { // root counts toward the bound
+		t.Fatalf("dropped = %d, want 11", tr.Dropped())
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	var ids []*Trace
+	for i := 0; i < 5; i++ {
+		tr := NewTrace("t")
+		ids = append(ids, tr)
+		r.Record(tr)
+	}
+	got := r.Traces()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, tr := range got {
+		if tr != ids[i+2] {
+			t.Fatalf("ring order wrong at %d", i)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr := NewTrace("t")
+				tr.Finish()
+				r.Record(tr)
+				r.Traces()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d, want 800", r.Total())
+	}
+}
+
+func TestRegistryCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	fast := r.Counter("fast")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fast.Add(1)
+				r.Add("slow", 1)
+				r.Observe("lat_ns", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if v := snap.Counter("fast"); v != 8000 {
+		t.Fatalf("fast = %d, want 8000", v)
+	}
+	if v := snap.Counter("slow"); v != 8000 {
+		t.Fatalf("slow = %d, want 8000", v)
+	}
+	h, ok := snap.Histogram("lat_ns")
+	if !ok || h.Count != 8000 {
+		t.Fatalf("histogram = %+v ok=%v", h, ok)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []float64{0, 0.5, 1, 2, 3, 1024, 1 << 40, -5} {
+		r.Observe("h", v)
+	}
+	h, ok := r.Snapshot().Histogram("h")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.Count != 7 { // the negative observation is ignored
+		t.Fatalf("count = %d, want 7", h.Count)
+	}
+	if h.Min != 0 || h.Max != 1<<40 {
+		t.Fatalf("min/max = %v/%v", h.Min, h.Max)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != h.Count {
+		t.Fatalf("bucket total %d != count %d", total, h.Count)
+	}
+}
+
+// TestSnapshotJSONDeterministic: the snapshot marshals to the same bytes
+// every time and survives a round trip byte-identically.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b_counter", 2)
+	r.Add("a_counter", 1)
+	r.Add(Labeled("queries_rejected", "code", "no-command"), 3)
+	r.Observe("parse_ns", 1234)
+	r.Observe("parse_ns", 999999)
+
+	j1, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", j1, j2)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(j1, &round); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := round.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Fatalf("round trip differs:\n%s\n---\n%s", j1, j3)
+	}
+	// Sorted order: a_counter before b_counter before the labeled name.
+	var names []string
+	for _, c := range round.Counters {
+		names = append(names, c.Name)
+	}
+	if len(names) != 3 || names[0] != "a_counter" || names[1] != "b_counter" {
+		t.Fatalf("counter order = %v", names)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("feedback", "code", "pronoun"); got != "feedback{code=pronoun}" {
+		t.Fatalf("Labeled = %q", got)
+	}
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds process-wide named counters and bounded histograms. It
+// is safe for concurrent use. The package-level Default registry is what
+// the engine's always-on counters feed and what expvar publishes.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*StatCounter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*StatCounter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry, published under the expvar name
+// "nalix_obs".
+var Default = NewRegistry()
+
+func init() {
+	expvar.Publish("nalix_obs", expvar.Func(func() interface{} {
+		return Default.Snapshot()
+	}))
+}
+
+// StatCounter is a monotonically-adjusted process counter. Adds are a
+// single atomic operation, cheap enough for the engine's hottest paths
+// (mqf cache lookups).
+type StatCounter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter.
+func (c *StatCounter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *StatCounter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *StatCounter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &StatCounter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Add bumps a named counter in the registry.
+func (r *Registry) Add(name string, delta int64) {
+	r.Counter(name).Add(delta)
+}
+
+// NewCounter returns the named counter of the Default registry —
+// the hook hot paths use to hoist the name lookup to package init.
+func NewCounter(name string) *StatCounter {
+	return Default.Counter(name)
+}
+
+// Add bumps a named counter in the Default registry.
+func Add(name string, delta int64) {
+	Default.Add(name, delta)
+}
+
+// Labeled renders a labeled counter name, e.g.
+// Labeled("queries_rejected", "code", "no-command") →
+// "queries_rejected{code=no-command}".
+func Labeled(name, key, value string) string {
+	return name + "{" + key + "=" + value + "}"
+}
+
+// histogramBuckets is the fixed bucket count: observations land in
+// power-of-two buckets by magnitude, so memory per histogram is bounded
+// regardless of the value range.
+const histogramBuckets = 64
+
+// Histogram is a bounded log2-bucketed histogram of non-negative
+// observations (durations in nanoseconds, sizes, counts). Access goes
+// through a Registry, which provides the locking.
+type Histogram struct {
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histogramBuckets]int64
+}
+
+// bucketIndex maps a value to its log2 bucket: bucket i holds values v
+// with 2^(i-1) <= v < 2^i (bucket 0 holds v < 1).
+func bucketIndex(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	if v >= math.MaxInt64 {
+		return histogramBuckets - 1
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histogramBuckets {
+		i = histogramBuckets - 1
+	}
+	return i
+}
+
+func (h *Histogram) observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+}
+
+// Observe records a value into the named histogram.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+}
+
+// Observe records a value into a Default-registry histogram.
+func Observe(name string, v float64) {
+	Default.Observe(name, v)
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by name so its
+// JSON form is deterministic and round-trips byte-identically.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time. Only
+// non-empty buckets are listed.
+type HistogramSnapshot struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket: Count observations
+// with value < Le (and >= Le/2 except for the first bucket).
+type BucketSnapshot struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot captures the registry. Counters and histograms are sorted by
+// name; zero-valued counters are included (a registered counter is a
+// fact worth exporting even before its first hit).
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := &Snapshot{
+		Counters:   []CounterSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	var cnames []string
+	for name := range r.counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		snap.Counters = append(snap.Counters, CounterSnapshot{
+			Name:  name,
+			Value: r.counters[name].Value(),
+		})
+	}
+	var hnames []string
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := r.hists[name]
+		hs := HistogramSnapshot{
+			Name:  name,
+			Count: h.count,
+			Sum:   h.sum,
+			Min:   h.min,
+			Max:   h.max,
+		}
+		for i, c := range h.buckets {
+			if c == 0 {
+				continue
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{
+				Le:    math.Pow(2, float64(i)),
+				Count: c,
+			})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	return snap
+}
+
+// Counter returns the snapshot value of a named counter (0 when absent).
+func (s *Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the snapshot of a named histogram and whether it
+// exists.
+func (s *Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// JSON renders the snapshot as indented, deterministic JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -4,15 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"nalix/internal/fulltext"
 	"nalix/internal/mqf"
+	"nalix/internal/obs"
 	"nalix/internal/xmldb"
 )
 
 // Engine evaluates queries against a set of loaded documents. A zero-value
-// Engine is not usable; construct one with NewEngine. An Engine is not safe
-// for concurrent use (its indexes are built lazily during evaluation).
+// Engine is not usable; construct one with NewEngine. Configure an Engine
+// first — AddDocument calls and option fields are not synchronized — and
+// then evaluate: once configuration is done, Query, Eval and EvalTraced
+// are safe for concurrent use. An internal lock serializes evaluations,
+// because the binding budget and the lazily built full-text indexes are
+// per-evaluation mutable state.
 type Engine struct {
 	docs     map[string]*xmldb.Document
 	defName  string
@@ -35,6 +41,14 @@ type Engine struct {
 	DisablePlanner bool
 
 	steps int
+
+	// evalMu serializes evaluations (see the type comment). It guards
+	// nothing lexically: every field access happens inside evalOne and
+	// below, which run with the lock held via EvalTraced.
+	evalMu sync.Mutex
+	// tr accumulates stage timings for the evaluation in flight; nil
+	// when tracing is off.
+	tr *evalTrace
 }
 
 // ErrBudget is returned (wrapped) when a query exceeds the binding budget.
@@ -86,9 +100,37 @@ func (e *Engine) Query(src string) (Sequence, error) {
 
 // Eval evaluates a parsed expression with an empty variable environment.
 func (e *Engine) Eval(expr Expr) (Sequence, error) {
+	return e.EvalTraced(expr, nil)
+}
+
+// EvalTraced is Eval with stage tracing: when sp is non-nil it receives
+// pre-ended aggregate child spans for clause reordering ("plan"),
+// per-clause domain work ("for"/"let", keyed by variable), and mqf()
+// relatedness checking, plus binding-budget attributes. A nil sp makes it
+// identical to Eval: nothing is recorded and the clock is never read.
+func (e *Engine) EvalTraced(expr Expr, sp *obs.Span) (Sequence, error) {
+	e.evalMu.Lock()
+	defer e.evalMu.Unlock()
+	return e.evalOne(expr, sp)
+}
+
+// evalOne runs one evaluation; the caller holds evalMu.
+func (e *Engine) evalOne(expr Expr, sp *obs.Span) (Sequence, error) {
+	evalsTotal.Add(1)
 	e.steps = 0
+	e.tr = nil
+	if sp != nil {
+		e.tr = &evalTrace{}
+	}
 	env := &env{engine: e}
-	return e.eval(expr, env)
+	out, err := e.eval(expr, env)
+	e.tr.flush(sp)
+	e.tr = nil
+	if sp != nil {
+		sp.SetInt("steps", int64(e.steps))
+		sp.SetInt("items", int64(len(out)))
+	}
+	return out, err
 }
 
 // spend consumes n units of the binding budget.
@@ -274,7 +316,9 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 	// query orders its results explicitly, document order is restored
 	// afterwards from the bindings of the original first for-clauses.
 	clauses := f.Clauses
+	pt0 := e.tr.clock()
 	perm := orderClauses(e, f, env0, conjuncts)
+	e.tr.plan(pt0)
 	reordered := false
 	for i, pi := range perm {
 		if pi != i {
@@ -371,13 +415,17 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 		}
 		cl := clauses[i]
 		if cl.Kind == LetClause {
+			lt0 := e.tr.clock()
 			src, err := e.eval(cl.Source, cur)
+			e.tr.clause("let", cl.Var, len(src), lt0)
 			if err != nil {
 				return err
 			}
 			return expand(i+1, cur.bind(cl.Var, src))
 		}
+		ft0 := e.tr.clock()
 		src, err := e.forDomain(g, i, cur, env0, conjuncts, domainCache)
+		e.tr.clause("for", cl.Var, len(src), ft0)
 		if err != nil {
 			return err
 		}

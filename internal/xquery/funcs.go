@@ -266,5 +266,8 @@ func (e *Engine) evalMQF(args []Sequence) (Sequence, error) {
 			return Sequence{BoolItem{false}}, nil // cross-document: never related
 		}
 	}
-	return Sequence{BoolItem{e.checkers[doc.Name].RelatedAll(nodes)}}, nil
+	t0 := e.tr.clock()
+	ok, pairs := e.checkers[doc.Name].RelatedAllCounted(nodes)
+	e.tr.mqf(pairs, t0)
+	return Sequence{BoolItem{ok}}, nil
 }

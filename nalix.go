@@ -31,19 +31,83 @@ import (
 
 	"nalix/internal/core"
 	"nalix/internal/keyword"
+	"nalix/internal/obs"
 	"nalix/internal/ontology"
 	"nalix/internal/xmldb"
 	"nalix/internal/xquery"
 )
 
+// queriesTotal counts Ask calls process-wide, accepted or not.
+var queriesTotal = obs.NewCounter("queries_total")
+
 // Engine is a NaLIX instance: a set of loaded XML documents plus the
-// translation pipeline. It is not safe for concurrent use.
+// translation pipeline. Configure it first — New, LoadXML, LoadXMLString,
+// AddSynonyms and EnableTracing are not synchronized — and then query:
+// once configuration is done, Ask, Translate, Query and KeywordSearch are
+// safe for concurrent use from multiple goroutines (evaluations are
+// serialized internally by the XQuery engine).
 type Engine struct {
 	xq          *xquery.Engine
 	ont         *ontology.Ontology
 	translators map[string]*core.Translator
 	keywords    map[string]*keyword.Engine
 	defName     string
+
+	// rec retains finished traces when tracing is enabled; nil keeps
+	// every query on the untraced, allocation-free path.
+	rec *obs.Recorder
+}
+
+// DefaultTraceCapacity is how many finished traces the engine retains
+// when EnableTracing is called with a non-positive capacity.
+const DefaultTraceCapacity = 16
+
+// EnableTracing turns on pipeline tracing: every subsequent Ask,
+// Translate, Query and KeywordSearch call records a span tree of its
+// stages, attaches a snapshot to Answer.Trace, retains the last capacity
+// finished traces for RecentTraces (DefaultTraceCapacity when capacity
+// is not positive), and feeds the per-stage latency histograms of the
+// process-wide registry. Enabling tracing is configuration: do it before
+// sharing the engine between goroutines.
+func (e *Engine) EnableTracing(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	e.rec = obs.NewRecorder(capacity)
+}
+
+// RecentTraces returns snapshots of the retained traces, oldest first
+// (nil when tracing is not enabled or nothing ran yet).
+func (e *Engine) RecentTraces() []*Trace {
+	var out []*Trace
+	for _, tr := range e.rec.Traces() {
+		out = append(out, convertTrace(tr))
+	}
+	return out
+}
+
+// newTrace starts a trace when tracing is enabled, nil otherwise. A nil
+// trace has a nil root span, which keeps every downstream recording call
+// a no-op.
+func (e *Engine) newTrace(name string) *obs.Trace {
+	if e.rec == nil {
+		return nil
+	}
+	return obs.NewTrace(name)
+}
+
+// finishTrace closes a trace, feeds the stage-latency histograms,
+// retains it, and attaches the public snapshot to the answer.
+func (e *Engine) finishTrace(tr *obs.Trace, ans *Answer) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	tr.ObserveInto(obs.Default)
+	e.rec.Record(tr)
+	if ans != nil {
+		ans.Trace = convertTrace(tr)
+	}
 }
 
 // New returns an empty engine with the built-in generic thesaurus.
@@ -160,6 +224,10 @@ type Answer struct {
 	// database label, and whether the underlying name token is a core
 	// token or an implicit insertion.
 	Bindings []Binding
+	// Trace is the observability record of this call — the timed span
+	// tree of pipeline stages plus per-call counters. It is nil unless
+	// tracing was enabled with Engine.EnableTracing.
+	Trace *Trace
 }
 
 // Binding is one row of the variable-binding table.
@@ -178,11 +246,16 @@ type Binding struct {
 // Translate runs the pipeline up to XQuery generation without evaluating
 // the query.
 func (e *Engine) Translate(docName, english string) (*Answer, error) {
-	_, ans, err := e.translate(docName, english)
-	return ans, err
+	t := e.newTrace("translate")
+	_, ans, err := e.translate(docName, english, t.Root())
+	if err != nil {
+		return nil, err
+	}
+	e.finishTrace(t, ans)
+	return ans, nil
 }
 
-func (e *Engine) translate(docName, english string) (*core.Result, *Answer, error) {
+func (e *Engine) translate(docName, english string, sp *obs.Span) (*core.Result, *Answer, error) {
 	if docName == "" {
 		docName = e.defName
 	}
@@ -190,7 +263,7 @@ func (e *Engine) translate(docName, english string) (*core.Result, *Answer, erro
 	if !ok {
 		return nil, nil, fmt.Errorf("nalix: document %q not loaded", docName)
 	}
-	res, err := tr.Translate(english)
+	res, err := tr.TranslateTraced(english, sp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -226,31 +299,69 @@ func convertFeedback(f core.Feedback, isErr bool) Feedback {
 // Ask translates an English sentence and, when accepted, evaluates the
 // resulting XQuery against the document.
 func (e *Engine) Ask(docName, english string) (*Answer, error) {
-	res, ans, err := e.translate(docName, english)
+	queriesTotal.Add(1)
+	t := e.newTrace("ask")
+	root := t.Root()
+	res, ans, err := e.translate(docName, english, root)
 	if err != nil {
 		return nil, err
 	}
 	if !ans.Accepted {
+		countRejected(ans)
+		root.Set("accepted", "false")
+		e.finishTrace(t, ans)
 		return ans, nil
 	}
-	seq, err := e.xq.Eval(res.Query)
+	esp := root.Start("eval")
+	seq, err := e.xq.EvalTraced(res.Query, esp)
+	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("nalix: evaluating translation: %w", err)
 	}
+	ssp := root.Start("serialize")
 	fill(ans, seq)
+	ssp.SetInt("results", int64(len(ans.Results)))
+	ssp.End()
+	e.finishTrace(t, ans)
 	return ans, nil
+}
+
+// countRejected tags a rejected query process-wide, labeled with the
+// code of the first (deciding) error.
+func countRejected(ans *Answer) {
+	obs.Add("queries_rejected_total", 1)
+	for _, f := range ans.Feedback {
+		if f.IsError {
+			obs.Add(obs.Labeled("queries_rejected", "code", f.Code), 1)
+			return
+		}
+	}
 }
 
 // Query evaluates a raw (Schema-Free) XQuery string against the loaded
 // documents and returns the answer (Accepted is always true; ParseTree is
 // empty).
 func (e *Engine) Query(xq string) (*Answer, error) {
-	seq, err := e.xq.Query(xq)
+	t := e.newTrace("query")
+	root := t.Root()
+	psp := root.Start("parse")
+	expr, err := xquery.Parse(xq)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	esp := root.Start("eval")
+	seq, err := e.xq.EvalTraced(expr, esp)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
 	ans := &Answer{Accepted: true, XQuery: xq}
+	ssp := root.Start("serialize")
 	fill(ans, seq)
+	ssp.SetInt("results", int64(len(ans.Results)))
+	ssp.End()
+	e.finishTrace(t, ans)
 	return ans, nil
 }
 
@@ -277,9 +388,11 @@ func (e *Engine) KeywordSearch(docName, query string) ([]string, error) {
 	if !ok {
 		return nil, fmt.Errorf("nalix: document %q not loaded", docName)
 	}
+	t := e.newTrace("keyword")
 	var out []string
-	for _, hit := range kw.Search(query) {
+	for _, hit := range kw.SearchTraced(query, t.Root()) {
 		out = append(out, xmldb.SerializeString(hit.Node))
 	}
+	e.finishTrace(t, nil)
 	return out, nil
 }

@@ -1,0 +1,198 @@
+package nalix
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// acceptanceQuery is the worked example of the README's explain section;
+// it exercises every pipeline stage (multi-variable translation, planner
+// reordering, mqf joins).
+const acceptanceQuery = `Find all books published by "Addison-Wesley" after 1991.`
+
+func newTracingEngine(t testing.TB) *Engine {
+	t.Helper()
+	e := newEngine(t)
+	e.EnableTracing(4)
+	return e
+}
+
+// TestTraceCoversPipelineStages: a traced Ask yields a span tree naming
+// every stage of the pipeline, with non-zero timings on the timed ones.
+func TestTraceCoversPipelineStages(t *testing.T) {
+	e := newTracingEngine(t)
+	ans, err := e.Ask("", acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Accepted {
+		t.Fatalf("rejected: %v", ans.Feedback)
+	}
+	if ans.Trace == nil {
+		t.Fatal("Answer.Trace is nil with tracing enabled")
+	}
+	r := ans.Trace.Render()
+	for _, stage := range []string{"ask", "parse", "classify", "validate",
+		"translate", "plan", "eval", "mqf", "serialize"} {
+		if !strings.Contains(r, stage) {
+			t.Errorf("trace missing stage %q:\n%s", stage, r)
+		}
+	}
+	// The root and the timed pipeline stages must show real durations.
+	if ans.Trace.Root.Duration <= 0 {
+		t.Errorf("root span has no duration:\n%s", r)
+	}
+	for _, c := range ans.Trace.Root.Children {
+		switch c.Name {
+		case "parse", "eval":
+			if c.Duration <= 0 {
+				t.Errorf("stage %q has no duration:\n%s", c.Name, r)
+			}
+		}
+	}
+	if len(ans.Trace.Counters) == 0 {
+		t.Errorf("trace has no counters:\n%s", r)
+	}
+}
+
+// TestTraceDeterministic: two identical questions against the same engine
+// produce structurally identical traces — same span tree, same attribute
+// values, same counter deltas; only timings may differ.
+func TestTraceDeterministic(t *testing.T) {
+	e := newTracingEngine(t)
+	first, err := e.Ask("", acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Ask("", acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := first.Trace.Structure(), second.Trace.Structure()
+	if s1 != s2 {
+		t.Fatalf("trace structures differ:\n--- first ---\n%s\n--- second ---\n%s", s1, s2)
+	}
+	// A rejected query's trace is deterministic too, and tags its
+	// feedback codes.
+	r1, err := e.Ask("", "Return every book as cheap as possible.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Ask("", "Return every book as cheap as possible.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Trace.Structure() != r2.Trace.Structure() {
+		t.Fatalf("rejection traces differ:\n%s\n---\n%s", r1.Trace.Structure(), r2.Trace.Structure())
+	}
+	if !strings.Contains(r1.Trace.Structure(), "feedback{code=") {
+		t.Errorf("rejection trace misses feedback code:\n%s", r1.Trace.Structure())
+	}
+}
+
+// TestTraceDisabled: without EnableTracing no trace is attached or
+// retained — the pipeline runs on the nil-span path (whose allocation
+// freedom is proven in internal/obs).
+func TestTraceDisabled(t *testing.T) {
+	e := newEngine(t)
+	ans, err := e.Ask("", acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace != nil {
+		t.Fatal("Answer.Trace set with tracing disabled")
+	}
+	if got := e.RecentTraces(); got != nil {
+		t.Fatalf("RecentTraces = %d traces with tracing disabled", len(got))
+	}
+}
+
+// TestRecentTraces: the engine retains the last N traces, oldest first.
+func TestRecentTraces(t *testing.T) {
+	e := newEngine(t)
+	e.EnableTracing(2)
+	questions := []string{
+		"List all titles.",
+		"List all authors.",
+		"List all publishers.",
+	}
+	for _, q := range questions {
+		if _, err := e.Ask("", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces := e.RecentTraces()
+	if len(traces) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Root.Name != "ask" {
+			t.Errorf("root = %q, want ask", tr.Root.Name)
+		}
+	}
+}
+
+// TestConcurrentAsk is the contract test for the Engine doc comment: a
+// configured engine serves Ask, Translate, Query and KeywordSearch from
+// many goroutines. Run with -race.
+func TestConcurrentAsk(t *testing.T) {
+	e := newTracingEngine(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch g % 4 {
+				case 0:
+					ans, err := e.Ask("", acceptanceQuery)
+					if err == nil && !ans.Accepted {
+						err = errorFromFeedback(ans)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := e.Translate("", "List all titles."); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					q := `for $b in doc("bib.xml")//book where $b/year > 1991 return $b/title`
+					if _, err := e.Query(q); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if _, err := e.KeywordSearch("", `book "Addison-Wesley"`); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func errorFromFeedback(ans *Answer) error {
+	return &feedbackError{ans.Feedback}
+}
+
+type feedbackError struct{ fb []Feedback }
+
+func (e *feedbackError) Error() string {
+	var parts []string
+	for _, f := range e.fb {
+		parts = append(parts, f.String())
+	}
+	return "rejected: " + strings.Join(parts, "; ")
+}
