@@ -1,0 +1,181 @@
+// Command benchguard compares fresh `go test -bench` output against the
+// committed BENCH_*.json baselines and fails when a benchmark regresses
+// past a threshold. verify.sh runs it after the bench smoke pass, so a
+// change that makes a guarded path >50% slower fails the gate the same
+// way a broken test does:
+//
+//	go test -run '^$' -bench 'BenchmarkAsk$' -benchtime 100x -count 5 . > bench.out
+//	go run ./cmd/benchguard bench.out
+//
+// Baselines are the `benchmarks` arrays of every BENCH_*.json in the
+// repository root ({"name": "BenchmarkAsk/untraced", "ns_per_op": N});
+// baseline files without that array (e.g. BENCH_serve.json, which holds
+// load-generator percentiles) are skipped. Measurements take the MIN
+// ns/op across -count repetitions — the least-noise estimate of the
+// code's true cost — and the `-N` GOMAXPROCS suffix is stripped so
+// baselines are portable across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 1.5, "fail when measured ns/op exceeds baseline*threshold")
+	glob := flag.String("baselines", "BENCH_*.json", "glob of baseline files, relative to the current directory")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-threshold 1.5] [-baselines glob] bench-output-file...")
+		os.Exit(2)
+	}
+	if err := run(*threshold, *glob, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+// baselineFile is the subset of the BENCH_*.json schema benchguard
+// reads; files whose Benchmarks array is empty carry no guarded
+// baselines and are skipped.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// baseline is one guarded benchmark with its provenance.
+type baseline struct {
+	name    string
+	nsPerOp float64
+	file    string
+}
+
+func run(threshold float64, glob string, outFiles []string) error {
+	if threshold <= 1 {
+		return fmt.Errorf("-threshold must be > 1, got %v", threshold)
+	}
+	baselines, err := loadBaselines(glob)
+	if err != nil {
+		return err
+	}
+	if len(baselines) == 0 {
+		return fmt.Errorf("no baselines found under %q", glob)
+	}
+	measured := make(map[string]float64)
+	for _, f := range outFiles {
+		if err := readBenchOutput(f, measured); err != nil {
+			return err
+		}
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark results in %s", strings.Join(outFiles, ", "))
+	}
+
+	var regressions []string
+	for _, b := range baselines {
+		got, ok := measured[b.name]
+		if !ok {
+			// A baseline with no fresh measurement means the benchmark
+			// was renamed or dropped without updating its BENCH file —
+			// fail so the baseline cannot silently go stale.
+			regressions = append(regressions,
+				fmt.Sprintf("%s: no measurement (baseline %s expects %.0f ns/op)", b.name, b.file, b.nsPerOp))
+			continue
+		}
+		ratio := got / b.nsPerOp
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed, %s)",
+					b.name, got, b.nsPerOp, ratio, threshold, b.file))
+		}
+		fmt.Printf("benchguard: %-40s %10.0f ns/op  baseline %10.0f  %5.2fx  %s\n",
+			b.name, got, b.nsPerOp, ratio, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) failed the guard:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// loadBaselines collects the guarded benchmarks from every baseline
+// file matching the glob, sorted by name for deterministic reporting.
+func loadBaselines(glob string) ([]baseline, error) {
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	var out []baseline
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var bf baselineFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		for _, b := range bf.Benchmarks {
+			if b.Name == "" || b.NsPerOp <= 0 {
+				return nil, fmt.Errorf("%s: malformed baseline entry %+v", f, b)
+			}
+			out = append(out, baseline{name: b.Name, nsPerOp: b.NsPerOp, file: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+// procSuffix matches the -GOMAXPROCS suffix go test appends to
+// benchmark names (BenchmarkAsk/traced-4 → BenchmarkAsk/traced).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// readBenchOutput parses `go test -bench` output lines of the form
+//
+//	BenchmarkAsk/traced-4   100   43061 ns/op   [extra metrics...]
+//
+// keeping the minimum ns/op seen per (suffix-stripped) benchmark name.
+func readBenchOutput(path string, into map[string]float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields: name iterations value unit [value unit ...]
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		for i := 3; i < len(fields); i += 2 {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad ns/op in %q: %w", path, sc.Text(), err)
+			}
+			if prev, ok := into[name]; !ok || v < prev {
+				into[name] = v
+			}
+			break
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,281 @@
+// Command nalix-load drives the HTTP serving surface with concurrent
+// clients and reports latency percentiles. It either targets a running
+// nalix-serve (-url) or spins up an in-process server (-self), so the
+// committed BENCH_serve.json can be regenerated without external
+// orchestration:
+//
+//	go run ./cmd/nalix-load -self -n 500 -c 8 -out BENCH_serve.json
+//	go run ./cmd/nalix-load -url http://localhost:8080 -endpoint ask -n 1000
+//
+// The request schema is internal/server.Request and responses are
+// internal/server.Response — the same shapes `nalix -json` emits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nalix"
+	"nalix/internal/dataset"
+	"nalix/internal/obs"
+	"nalix/internal/server"
+	"nalix/internal/xmldb"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a running nalix-serve (empty with -self)")
+	self := flag.Bool("self", false, "spin up an in-process server instead of targeting -url")
+	corpus := flag.String("corpus", "bib", "corpus for -self: movies, library, bib or dblp")
+	sessions := flag.Int("sessions", runtime.GOMAXPROCS(0), "engine sessions for -self")
+	endpoint := flag.String("endpoint", "ask", "endpoint to drive: ask, translate, query or keyword")
+	question := flag.String("question", `Find all books published by "Addison-Wesley" after 1991.`, "question (or raw XQuery for -endpoint query)")
+	document := flag.String("document", "", "document name sent with each request")
+	n := flag.Int("n", 500, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	out := flag.String("out", "", "write the result JSON to this file (empty prints to stdout)")
+	flag.Parse()
+
+	if err := run(*url, *self, *corpus, *sessions, *endpoint, *question, *document, *n, *c, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "nalix-load:", err)
+		os.Exit(1)
+	}
+}
+
+// result is the BENCH_serve.json schema.
+type result struct {
+	Date        string  `json:"date"`
+	Go          string  `json:"go"`
+	Command     string  `json:"command"`
+	Endpoint    string  `json:"endpoint"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Sessions    int     `json:"sessions,omitempty"`
+	Errors      int     `json:"errors"`
+	LatencyUs   latency `json:"latency_us"`
+	RPS         float64 `json:"throughput_rps"`
+	Note        string  `json:"note,omitempty"`
+}
+
+type latency struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func run(url string, self bool, corpus string, sessions int, endpoint, question, document string, n, c int, out string) error {
+	if (url == "") == !self {
+		return fmt.Errorf("exactly one of -url or -self is required")
+	}
+	if n < 1 || c < 1 {
+		return fmt.Errorf("-n and -c must be positive")
+	}
+	res := result{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Go:          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Endpoint:    endpoint,
+		Requests:    n,
+		Concurrency: c,
+	}
+	if self {
+		ts, err := selfServer(corpus, sessions)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		url = ts.URL
+		res.Sessions = sessions
+		res.Command = fmt.Sprintf("go run ./cmd/nalix-load -self -corpus %s -sessions %d -endpoint %s -n %d -c %d", corpus, sessions, endpoint, n, c)
+		res.Note = "in-process server (httptest), loopback transport included in latencies"
+	} else {
+		res.Command = fmt.Sprintf("go run ./cmd/nalix-load -url %s -endpoint %s -n %d -c %d", url, endpoint, n, c)
+	}
+
+	body, err := json.Marshal(requestBody(endpoint, document, question))
+	if err != nil {
+		return err
+	}
+	target := strings.TrimRight(url, "/") + "/" + strings.TrimLeft(endpoint, "/")
+
+	// Warm up: one request outside the measurement window, so lazy
+	// index builds don't skew the tail.
+	if err := fire(target, body); err != nil {
+		return fmt.Errorf("warm-up request: %w", err)
+	}
+
+	lats := make([]time.Duration, n)
+	errCounts := make([]int, c)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	wallStart := time.Now()
+	for w := 0; w < c; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				if err := fire(target, body); err != nil {
+					errCounts[w]++
+					continue
+				}
+				lats[i] = time.Since(start)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	var ok []float64
+	for _, d := range lats {
+		if d > 0 {
+			ok = append(ok, float64(d.Nanoseconds())/1e3)
+		}
+	}
+	for _, e := range errCounts {
+		res.Errors += e
+	}
+	if len(ok) == 0 {
+		return fmt.Errorf("all %d requests failed", n)
+	}
+	sort.Float64s(ok)
+	res.LatencyUs = latency{
+		P50:  percentile(ok, 50),
+		P95:  percentile(ok, 95),
+		P99:  percentile(ok, 99),
+		Min:  ok[0],
+		Max:  ok[len(ok)-1],
+		Mean: mean(ok),
+	}
+	res.RPS = float64(len(ok)) / wall.Seconds()
+
+	b, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "" {
+		_, werr := os.Stdout.Write(b)
+		return werr
+	}
+	return os.WriteFile(out, b, 0o644)
+}
+
+// requestBody builds the wire request for the chosen endpoint.
+func requestBody(endpoint, document, question string) server.Request {
+	req := server.Request{Document: document}
+	if endpoint == "query" {
+		req.Query = question
+	} else {
+		req.Question = question
+	}
+	return req
+}
+
+// fire posts one request and drains the response, failing on transport
+// errors and non-200 statuses.
+func fire(target string, body []byte) (err error) {
+	resp, err := http.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// selfServer stands up an in-process server over the named corpus.
+func selfServer(corpus string, sessions int) (*httptest.Server, error) {
+	if sessions < 1 {
+		sessions = 1
+	}
+	doc, err := corpusDoc(corpus)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	if err := dataset.WriteXML(&sb, doc); err != nil {
+		return nil, err
+	}
+	engines := make([]*nalix.Engine, sessions)
+	for i := range engines {
+		e := nalix.New()
+		if err := e.LoadXMLString(doc.Name, sb.String()); err != nil {
+			return nil, err
+		}
+		engines[i] = e
+	}
+	srv, err := server.New(server.Config{
+		Engines:  engines,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return httptest.NewServer(srv.Handler()), nil
+}
+
+func corpusDoc(corpus string) (*xmldb.Document, error) {
+	switch corpus {
+	case "movies":
+		return dataset.Movies(), nil
+	case "library":
+		return dataset.Library(), nil
+	case "bib":
+		return dataset.Bib(), nil
+	case "dblp":
+		return dataset.Generate(1), nil
+	}
+	return nil, fmt.Errorf("unknown corpus %q (movies, library, bib, dblp)", corpus)
+}
+
+// percentile returns the pth percentile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func mean(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

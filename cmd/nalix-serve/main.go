@@ -1,0 +1,145 @@
+// Command nalix-serve runs the NaLIX engine as an HTTP service: the
+// four pipeline operations as POST endpoints (/ask, /translate, /query,
+// /keyword) over a pool of engine sessions, plus the operational
+// surface (/healthz, /metrics, /debug/slow, /debug/traces/<id>,
+// /debug/pprof, /debug/vars). Every request gets a request ID, a
+// pipeline trace, and one JSONL access-log record.
+//
+// Usage:
+//
+//	nalix-serve [-addr :8080] [-doc file.xml | -corpus movies|library|bib|dblp]
+//	            [-sessions N] [-slow 500ms] [-access-log path]
+//
+// The access log goes to stderr by default; "-access-log path" appends
+// to a file instead. SIGINT/SIGTERM drain in-flight requests before
+// exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"nalix"
+	"nalix/internal/dataset"
+	"nalix/internal/server"
+	"nalix/internal/xmldb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	docPath := flag.String("doc", "", "XML file to serve")
+	corpus := flag.String("corpus", "bib", "built-in corpus when -doc is absent: movies, library, bib or dblp")
+	sessions := flag.Int("sessions", runtime.GOMAXPROCS(0), "engine sessions (bounds concurrent evaluations)")
+	slow := flag.Duration("slow", server.DefaultSlowThreshold, "slow-query threshold (negative disables capture)")
+	slowCap := flag.Int("slow-cap", server.DefaultSlowCapacity, "slow-query ring capacity")
+	traceCap := flag.Int("traces", server.DefaultTraceCapacity, "recent-trace ring capacity (backs /debug/traces)")
+	accessLog := flag.String("access-log", "", "access-log file (JSONL, appended); empty logs to stderr")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	if err := run(*addr, *docPath, *corpus, *sessions, *slow, *slowCap, *traceCap, *accessLog, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "nalix-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, docPath, corpus string, sessions int, slow time.Duration, slowCap, traceCap int, accessLog string, drain time.Duration) error {
+	if sessions < 1 {
+		sessions = 1
+	}
+	name, xml, err := corpusXML(docPath, corpus)
+	if err != nil {
+		return err
+	}
+	engines := make([]*nalix.Engine, sessions)
+	for i := range engines {
+		e := nalix.New()
+		if err := e.LoadXMLString(name, xml); err != nil {
+			return err
+		}
+		engines[i] = e
+	}
+
+	var logW io.Writer = os.Stderr
+	if accessLog != "" {
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "nalix-serve: closing access log:", cerr)
+			}
+		}()
+		logW = f
+	}
+
+	srv, err := server.New(server.Config{
+		Engines:       engines,
+		SlowThreshold: slow,
+		SlowCapacity:  slowCap,
+		TraceCapacity: traceCap,
+		AccessLog:     logW,
+	})
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	served := make(chan error, 1)
+	go func() { served <- srv.ListenAndServe(addr) }()
+	fmt.Fprintf(os.Stderr, "nalix-serve: serving %s on %s (%d sessions, slow >= %v)\n", name, addr, sessions, slow)
+
+	select {
+	case err := <-served:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "nalix-serve: %v, draining (up to %v)\n", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// corpusXML resolves the document to serve: an on-disk file, or a
+// built-in corpus serialized to XML.
+func corpusXML(docPath, corpus string) (name, xml string, err error) {
+	if docPath != "" {
+		b, err := os.ReadFile(docPath)
+		if err != nil {
+			return "", "", err
+		}
+		return filepath.Base(docPath), string(b), nil
+	}
+	var doc *xmldb.Document
+	switch corpus {
+	case "movies":
+		doc = dataset.Movies()
+	case "library":
+		doc = dataset.Library()
+	case "bib":
+		doc = dataset.Bib()
+	case "dblp":
+		doc = dataset.Generate(1)
+	default:
+		return "", "", fmt.Errorf("unknown corpus %q (movies, library, bib, dblp)", corpus)
+	}
+	var sb strings.Builder
+	if err := dataset.WriteXML(&sb, doc); err != nil {
+		return "", "", err
+	}
+	return doc.Name, sb.String(), nil
+}

@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	nalix [-doc file.xml] [-corpus movies|library|bib|dblp] [-tree] [-keyword] [-explain] [-trace] [query ...]
+//	nalix [-doc file.xml] [-corpus movies|library|bib|dblp] [-tree] [-keyword] [-explain] [-trace] [-json] [query ...]
 //
 // With query arguments it answers them and exits; without, it reads
 // questions from stdin, one per line. -explain prints each query's
 // pipeline span tree (parse, classify, validate, translate, plan, eval,
 // mqf, serialize) with timings; -trace prints the same trace as JSON.
+// -json emits one machine-readable JSON object per query — result,
+// feedback code, trace summary — in the same schema the nalix-serve
+// HTTP endpoints return, so scripts consume one shape either way.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"nalix"
 	"nalix/internal/dataset"
+	"nalix/internal/server"
 	"nalix/internal/xmldb"
 )
 
@@ -33,6 +37,7 @@ type display struct {
 	keyword bool
 	explain bool
 	trace   bool
+	json    bool
 }
 
 func main() {
@@ -43,6 +48,7 @@ func main() {
 	flag.BoolVar(&d.keyword, "keyword", false, "treat input as keyword queries (baseline interface)")
 	flag.BoolVar(&d.explain, "explain", false, "print each query's pipeline span tree with timings")
 	flag.BoolVar(&d.trace, "trace", false, "print each query's trace as JSON")
+	flag.BoolVar(&d.json, "json", false, "emit one JSON object per query (the nalix-serve response schema)")
 	flag.Parse()
 
 	eng := nalix.New()
@@ -54,7 +60,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nalix:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("loaded %s\n", name)
+	if !d.json {
+		fmt.Printf("loaded %s\n", name)
+	}
 
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {
@@ -111,6 +119,10 @@ func load(eng *nalix.Engine, docPath, corpus string) (string, error) {
 }
 
 func answer(eng *nalix.Engine, q string, d display) {
+	if d.json {
+		answerJSON(eng, q, d)
+		return
+	}
 	if d.keyword {
 		hits, err := eng.KeywordSearch("", q)
 		if err != nil {
@@ -158,6 +170,35 @@ func answer(eng *nalix.Engine, q string, d display) {
 	fmt.Printf("%d results\n", len(ans.Results))
 	printCapped(ans.Results)
 	printTrace(ans.Trace, d)
+}
+
+// answerJSON answers one query in the nalix-serve response schema: one
+// JSON object with the result, feedback code, and trace summary. The
+// per-call traced engine variants are used so the summary is present
+// without enabling engine-wide tracing.
+func answerJSON(eng *nalix.Engine, q string, d display) {
+	var resp *server.Response
+	if d.keyword {
+		hits, tr, err := eng.KeywordSearchTraced("", q)
+		if err != nil {
+			resp = &server.Response{Endpoint: "keyword", Question: q, Error: err.Error()}
+		} else {
+			resp = server.FromKeyword("", q, hits, tr)
+		}
+	} else {
+		ans, err := eng.AskTraced("", q)
+		if err != nil {
+			resp = &server.Response{Endpoint: "ask", Question: q, Error: err.Error()}
+		} else {
+			resp = server.FromAnswer("ask", "", q, ans)
+		}
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		return
+	}
+	fmt.Println(string(b))
 }
 
 // printTrace renders a query's trace as requested: an indented span tree

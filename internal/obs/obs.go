@@ -1,8 +1,8 @@
 // Package obs is the runtime observability layer of the engine:
 // hierarchical spans tracing one pipeline run (parse → classify →
-// validate → translate → plan → eval → mqf), process-wide named counters
-// and bounded histograms, and deterministic snapshot export (JSON and
-// expvar).
+// validate → translate → plan → eval → mqf), process-wide named
+// counters, gauges and bounded histograms, and deterministic snapshot
+// export (JSON and expvar).
 //
 // The package is built around a nil-tolerant API so the disabled path
 // costs nothing: every method on a nil *Trace or nil *Span is a no-op
@@ -22,6 +22,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +33,11 @@ import (
 // limit when a query degenerates.
 const DefaultMaxSpans = 4096
 
+// spanBlock is how many spans one arena allocation holds. Spans are
+// carved from per-trace blocks so a typical traced query (one to two
+// dozen spans) costs one or two allocations instead of one per span.
+const spanBlock = 24
+
 // Trace is the record of one traced pipeline run: a tree of spans plus
 // per-trace counters. Construct with NewTrace; the zero value and nil are
 // inert.
@@ -41,17 +47,31 @@ type Trace struct {
 	spans    int
 	maxSpans int
 	dropped  int
+	// arena is the spare span storage newSpan carves from; spans stay
+	// alive as long as the trace, so block allocation is safe.
+	arena []Span
 }
 
 // NewTrace starts a new trace whose root span has the given name.
 func NewTrace(name string) *Trace {
-	t := &Trace{
-		counters: make(map[string]int64),
-		maxSpans: DefaultMaxSpans,
-	}
-	t.root = &Span{t: t, name: name, start: time.Now()}
-	t.spans = 1
+	t := &Trace{maxSpans: DefaultMaxSpans}
+	t.root = t.newSpan(name)
+	t.root.start = time.Now()
 	return t
+}
+
+// newSpan carves the next span from the trace's arena, growing it by one
+// block when exhausted, and counts it toward the span bound.
+func (t *Trace) newSpan(name string) *Span {
+	if len(t.arena) == 0 {
+		t.arena = make([]Span, spanBlock)
+	}
+	s := &t.arena[0]
+	t.arena = t.arena[1:]
+	s.t = t
+	s.name = name
+	t.spans++
+	return s
 }
 
 // Root returns the root span (nil on a nil trace).
@@ -87,6 +107,9 @@ func (t *Trace) Count(name string, delta int64) {
 	if t == nil {
 		return
 	}
+	if t.counters == nil {
+		t.counters = make(map[string]int64)
+	}
 	t.counters[name] += delta
 }
 
@@ -114,15 +137,27 @@ func (t *Trace) Counters() []Counter {
 }
 
 // ObserveInto records every span's duration into the registry's
-// "<name>_ns" histogram, turning one finished trace into per-stage
-// latency observations (parse_ns, eval_ns, ...).
+// "stage_<name>_ns" histogram, turning one finished trace into per-stage
+// latency observations (stage_parse_ns, stage_eval_ns, ...). The stage_
+// prefix namespaces pipeline-stage latencies apart from other latency
+// histograms a registry may hold (the HTTP server's per-endpoint
+// http_*_ns families). The whole tree is recorded under one registry
+// lock acquisition instead of one per span.
 func (t *Trace) ObserveInto(r *Registry) {
 	if t == nil || r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var walk func(s *Span)
 	walk = func(s *Span) {
-		r.Observe(s.name+"_ns", float64(s.dur.Nanoseconds()))
+		name := "stage_" + s.name + "_ns"
+		h := r.hists[name]
+		if h == nil {
+			h = &Histogram{}
+			r.hists[name] = h
+		}
+		h.observe(float64(s.dur.Nanoseconds()))
 		for _, c := range s.children {
 			walk(c)
 		}
@@ -159,8 +194,8 @@ func (s *Span) Start(name string) *Span {
 		s.t.dropped++
 		return nil
 	}
-	c := &Span{t: s.t, name: name, start: time.Now()}
-	s.t.spans++
+	c := s.t.newSpan(name)
+	c.start = time.Now()
 	s.children = append(s.children, c)
 	return c
 }
@@ -176,8 +211,9 @@ func (s *Span) AddChild(name string, dur time.Duration) *Span {
 		s.t.dropped++
 		return nil
 	}
-	c := &Span{t: s.t, name: name, dur: dur, ended: true}
-	s.t.spans++
+	c := s.t.newSpan(name)
+	c.dur = dur
+	c.ended = true
 	s.children = append(s.children, c)
 	return c
 }
@@ -205,7 +241,7 @@ func (s *Span) SetInt(key string, v int64) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, Attr{Key: key, Value: fmt.Sprintf("%d", v)})
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
 }
 
 // Count adds delta to the owning trace's per-trace counter.

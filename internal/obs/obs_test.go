@@ -96,6 +96,95 @@ func TestDisabledPathAllocationFree(t *testing.T) {
 	}
 }
 
+// TestObserveIntoStagePrefix: a finished trace feeds one stage_<name>_ns
+// histogram per span, recorded for every span in the tree.
+func TestObserveIntoStagePrefix(t *testing.T) {
+	tr := NewTrace("ask")
+	tr.Root().Start("parse").End()
+	ev := tr.Root().Start("eval")
+	ev.AddChild("plan", time.Microsecond)
+	ev.End()
+	tr.Finish()
+	r := NewRegistry()
+	tr.ObserveInto(r)
+	snap := r.Snapshot()
+	for _, name := range []string{"stage_ask_ns", "stage_parse_ns", "stage_eval_ns", "stage_plan_ns"} {
+		h, ok := snap.Histogram(name)
+		if !ok || h.Count != 1 {
+			t.Errorf("histogram %s: ok=%v count=%d, want 1 observation", name, ok, h.Count)
+		}
+	}
+	if len(snap.Histograms) != 4 {
+		t.Errorf("histograms = %d, want 4", len(snap.Histograms))
+	}
+}
+
+// TestTracedPathAllocationBound: spans are carved from per-trace arena
+// blocks, so a block's worth of child spans costs at most a handful of
+// allocations (arena block + children slice growth), not one per span.
+func TestTracedPathAllocationBound(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := NewTrace("ask")
+		root := tr.Root()
+		for i := 0; i < spanBlock-1; i++ {
+			root.Start("stage").End()
+		}
+		tr.Finish()
+	})
+	// One alloc for the Trace, one for the arena block, and the root
+	// children slice doublings (log2 of spanBlock-1 appends).
+	if allocs > 8 {
+		t.Fatalf("traced span tree allocates %.1f times per run, want <= 8", allocs)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	if r.Gauge("inflight") != g {
+		t.Fatal("Gauge did not return the registered instance")
+	}
+	g.Add(3)
+	g.Add(-1)
+	if v := g.Value(); v != 2 {
+		t.Fatalf("gauge = %d, want 2", v)
+	}
+	g.Set(7)
+	snap := r.Snapshot()
+	if v := snap.Gauge("inflight"); v != 7 {
+		t.Fatalf("snapshot gauge = %d, want 7", v)
+	}
+	if v := snap.Gauge("absent"); v != 0 {
+		t.Fatalf("absent gauge = %d, want 0", v)
+	}
+	var nilGauge *Gauge
+	nilGauge.Add(1)
+	nilGauge.Set(1)
+	if nilGauge.Value() != 0 {
+		t.Fatal("nil gauge not inert")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pool")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %d, want 0 after balanced adds", v)
+	}
+}
+
 func TestSpanBound(t *testing.T) {
 	tr := NewTrace("root")
 	for i := 0; i < DefaultMaxSpans+10; i++ {

@@ -10,12 +10,14 @@ import (
 	"sync/atomic"
 )
 
-// Registry holds process-wide named counters and bounded histograms. It
-// is safe for concurrent use. The package-level Default registry is what
-// the engine's always-on counters feed and what expvar publishes.
+// Registry holds process-wide named counters, gauges and bounded
+// histograms. It is safe for concurrent use. The package-level Default
+// registry is what the engine's always-on counters feed and what expvar
+// publishes.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*StatCounter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -23,6 +25,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*StatCounter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -93,6 +96,61 @@ func NewCounter(name string) *StatCounter {
 // Add bumps a named counter in the Default registry.
 func Add(name string, delta int64) {
 	Default.Add(name, delta)
+}
+
+// Gauge is a named instantaneous value: a level that moves both ways
+// (requests in flight, pool occupancy, loaded documents), where a
+// counter only accumulates. Adds and sets are single atomic operations.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Set pins the gauge to v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// NewGauge returns the named gauge of the Default registry.
+func NewGauge(name string) *Gauge {
+	return Default.Gauge(name)
 }
 
 // Labeled renders a labeled counter name, e.g.
@@ -170,11 +228,18 @@ func Observe(name string, v float64) {
 // JSON form is deterministic and round-trips byte-identically.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
 // CounterSnapshot is one counter's value at snapshot time.
 type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's level at snapshot time.
+type GaugeSnapshot struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
@@ -205,6 +270,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.RUnlock()
 	snap := &Snapshot{
 		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
 		Histograms: []HistogramSnapshot{},
 	}
 	var cnames []string
@@ -216,6 +282,17 @@ func (r *Registry) Snapshot() *Snapshot {
 		snap.Counters = append(snap.Counters, CounterSnapshot{
 			Name:  name,
 			Value: r.counters[name].Value(),
+		})
+	}
+	var gnames []string
+	for name := range r.gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+			Name:  name,
+			Value: r.gauges[name].Value(),
 		})
 	}
 	var hnames []string
@@ -251,6 +328,16 @@ func (s *Snapshot) Counter(name string) int64 {
 	for _, c := range s.Counters {
 		if c.Name == name {
 			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshot level of a named gauge (0 when absent).
+func (s *Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
 		}
 	}
 	return 0

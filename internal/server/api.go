@@ -1,0 +1,153 @@
+package server
+
+import (
+	"nalix"
+)
+
+// Request is the JSON body the API endpoints accept. /ask, /translate
+// and /keyword read Question; /query reads Query (raw Schema-Free
+// XQuery). Document selects a loaded document and defaults to the
+// engine's default document when empty.
+type Request struct {
+	Document string `json:"document,omitempty"`
+	Question string `json:"question,omitempty"`
+	Query    string `json:"query,omitempty"`
+}
+
+// Response is the one answer schema of the system: the HTTP endpoints
+// return it and `nalix -json` prints it, so scripts and the load
+// generator consume a single shape either way.
+type Response struct {
+	// RequestID echoes the server-assigned request ID (also sent as the
+	// X-Request-Id header); empty in offline `nalix -json` output.
+	RequestID string `json:"request_id,omitempty"`
+	// Endpoint names the operation: ask, translate, query or keyword.
+	Endpoint string `json:"endpoint"`
+	// Document is the document the operation ran against.
+	Document string `json:"document,omitempty"`
+	// Question is the English question (or keyword/XQuery input).
+	Question string `json:"question,omitempty"`
+	// Accepted is false when the question was rejected with feedback.
+	Accepted bool `json:"accepted"`
+	// FeedbackCode is the code of the first (deciding) error, when the
+	// question was rejected.
+	FeedbackCode string `json:"feedback_code,omitempty"`
+	// Feedback holds every error and warning message.
+	Feedback []FeedbackJSON `json:"feedback,omitempty"`
+	// XQuery is the generated (or given) Schema-Free XQuery text.
+	XQuery string `json:"xquery,omitempty"`
+	// Results holds the serialized XML of each result item.
+	Results []string `json:"results,omitempty"`
+	// Values holds the flattened result values the paper scores on.
+	Values []string `json:"values,omitempty"`
+	// Count is len(Results), present even when Results is elided.
+	Count int `json:"count"`
+	// Trace summarizes the request's pipeline trace; the full span tree
+	// is retrievable from the server via /debug/traces/<request_id>.
+	Trace *TraceSummary `json:"trace,omitempty"`
+	// Error carries a transport- or engine-level failure (bad request
+	// body, unknown document, XQuery parse error); the other fields are
+	// zero when it is set.
+	Error string `json:"error,omitempty"`
+}
+
+// FeedbackJSON is one validation message in wire form.
+type FeedbackJSON struct {
+	IsError    bool   `json:"is_error"`
+	Code       string `json:"code"`
+	Term       string `json:"term,omitempty"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// TraceSummary is the flat digest of one request's trace: total time,
+// per-stage latencies (the top-level pipeline stages, in execution
+// order), and the per-trace counters.
+type TraceSummary struct {
+	TotalNs  int64             `json:"total_ns"`
+	Stages   []StageLatency    `json:"stages,omitempty"`
+	Counters []TraceCounterOut `json:"counters,omitempty"`
+	Dropped  int               `json:"dropped_spans,omitempty"`
+}
+
+// StageLatency is one top-level pipeline stage and its wall-clock time.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	Ns    int64  `json:"ns"`
+}
+
+// TraceCounterOut is one per-trace counter in wire form.
+type TraceCounterOut struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// SummarizeTrace digests a trace into the wire summary (nil for nil).
+func SummarizeTrace(tr *nalix.Trace) *TraceSummary {
+	if tr == nil || tr.Root == nil {
+		return nil
+	}
+	s := &TraceSummary{
+		TotalNs: tr.Root.Duration.Nanoseconds(),
+		Dropped: tr.Dropped,
+	}
+	for _, c := range tr.Root.Children {
+		s.Stages = append(s.Stages, StageLatency{Stage: c.Name, Ns: c.Duration.Nanoseconds()})
+	}
+	for _, c := range tr.Counters {
+		s.Counters = append(s.Counters, TraceCounterOut{Name: c.Name, Value: c.Value})
+	}
+	return s
+}
+
+// FirstErrorCode returns the code of the first error-level feedback —
+// the deciding rejection reason — or "" when none.
+func FirstErrorCode(fb []nalix.Feedback) string {
+	for _, f := range fb {
+		if f.IsError {
+			return f.Code
+		}
+	}
+	return ""
+}
+
+// FromAnswer builds the wire response for an engine answer.
+func FromAnswer(endpoint, document, question string, ans *nalix.Answer) *Response {
+	resp := &Response{
+		Endpoint: endpoint,
+		Document: document,
+		Question: question,
+		Accepted: ans.Accepted,
+		XQuery:   ans.XQuery,
+		Results:  ans.Results,
+		Values:   ans.Values,
+		Count:    len(ans.Results),
+		Trace:    SummarizeTrace(ans.Trace),
+	}
+	if !ans.Accepted {
+		resp.FeedbackCode = FirstErrorCode(ans.Feedback)
+	}
+	for _, f := range ans.Feedback {
+		resp.Feedback = append(resp.Feedback, FeedbackJSON{
+			IsError:    f.IsError,
+			Code:       f.Code,
+			Term:       f.Term,
+			Message:    f.Message,
+			Suggestion: f.Suggestion,
+		})
+	}
+	return resp
+}
+
+// FromKeyword builds the wire response for a keyword search.
+func FromKeyword(document, query string, hits []string, tr *nalix.Trace) *Response {
+	return &Response{
+		Endpoint: "keyword",
+		Document: document,
+		Question: query,
+		Accepted: true,
+		Results:  hits,
+		Count:    len(hits),
+		Trace:    SummarizeTrace(tr),
+	}
+}

@@ -1,0 +1,507 @@
+// Package server is the HTTP serving surface of the engine: the four
+// pipeline operations (ask, translate, query, keyword) as POST
+// endpoints over a pool of engine sessions, with request-level
+// observability — a generated request ID per request, a per-request
+// pipeline trace, a structured JSONL access log, a bounded slow-query
+// ring, and operational endpoints (/healthz, /metrics, /debug/slow,
+// /debug/traces/<id>, /debug/pprof, /debug/vars).
+//
+// Engines obey the configure-then-query contract (see nalix.Engine):
+// the caller configures every session before handing it to New, and the
+// server only queries them afterwards. The pool bounds concurrent
+// evaluations to the number of sessions; excess requests wait for a
+// free session or their client's context, whichever ends first.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nalix"
+	"nalix/internal/obs"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultSlowThreshold = 500 * time.Millisecond
+	DefaultSlowCapacity  = 64
+	DefaultTraceCapacity = 256
+
+	// maxBodyBytes bounds an API request body.
+	maxBodyBytes = 1 << 20
+
+	// healthTimeout bounds how long /healthz waits for a free session
+	// before declaring the engine unresponsive.
+	healthTimeout = 2 * time.Second
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engines is the session pool: fully configured nalix engines, all
+	// serving the same corpus. At least one is required. The server
+	// points each engine's metrics registry at Registry, so per-stage
+	// histograms and per-endpoint histograms land in one snapshot.
+	Engines []*nalix.Engine
+
+	// SlowThreshold is the latency at or above which a request enters
+	// the slow-query ring. Zero means DefaultSlowThreshold; negative
+	// disables slow capture.
+	SlowThreshold time.Duration
+
+	// SlowCapacity bounds the slow-query ring (0 = default).
+	SlowCapacity int
+
+	// TraceCapacity bounds the recent-trace ring that backs
+	// /debug/traces/<id> (0 = default).
+	TraceCapacity int
+
+	// AccessLog receives one JSONL record per request (nil = discard).
+	// The server serializes writes; the writer itself need not be
+	// concurrency-safe.
+	AccessLog io.Writer
+
+	// Registry receives the server's metrics (nil = obs.Default).
+	Registry *obs.Registry
+}
+
+// AccessRecord is one structured access-log line. Records are written
+// as single-line JSON, one per request, in completion order.
+type AccessRecord struct {
+	Time         string         `json:"time"`
+	RequestID    string         `json:"request_id"`
+	Endpoint     string         `json:"endpoint"`
+	Document     string         `json:"document,omitempty"`
+	Question     string         `json:"question,omitempty"`
+	Status       int            `json:"status"`
+	Accepted     bool           `json:"accepted"`
+	FeedbackCode string         `json:"feedback_code,omitempty"`
+	Results      int            `json:"results"`
+	DurationNs   int64          `json:"duration_ns"`
+	Stages       []StageLatency `json:"stages,omitempty"`
+	Slow         bool           `json:"slow,omitempty"`
+	Error        string         `json:"error,omitempty"`
+}
+
+// SlowEntry is one /debug/slow item: the request's identity and timing
+// plus its trace summary; the full span tree is at /debug/traces/<id>.
+type SlowEntry struct {
+	RequestID  string        `json:"request_id"`
+	Endpoint   string        `json:"endpoint"`
+	Document   string        `json:"document,omitempty"`
+	Question   string        `json:"question,omitempty"`
+	Time       string        `json:"time"`
+	DurationNs int64         `json:"duration_ns"`
+	Trace      *TraceSummary `json:"trace,omitempty"`
+}
+
+// Server serves the engine over HTTP. Construct with New; start with
+// Serve or ListenAndServe; stop with Shutdown (drains in-flight
+// requests) or Close (does not).
+type Server struct {
+	pool     chan *nalix.Engine
+	sessions int
+	reg      *obs.Registry
+	slowAt   time.Duration
+	store    *traceStore
+	logMu    sync.Mutex
+	logW     io.Writer
+	inflight *obs.Gauge
+	idPrefix string
+	idSeq    atomic.Int64
+	mux      *http.ServeMux
+	http     *http.Server
+}
+
+// New assembles a server from configured engine sessions. The engines
+// must be fully configured (documents loaded, synonyms added): New
+// points their metrics registries at cfg.Registry and the server
+// queries them concurrently afterwards.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Engines) == 0 {
+		return nil, fmt.Errorf("server: at least one engine session is required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	slowAt := cfg.SlowThreshold
+	if slowAt == 0 {
+		slowAt = DefaultSlowThreshold
+	}
+	slowCap := cfg.SlowCapacity
+	if slowCap <= 0 {
+		slowCap = DefaultSlowCapacity
+	}
+	traceCap := cfg.TraceCapacity
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCapacity
+	}
+	logW := cfg.AccessLog
+	if logW == nil {
+		logW = io.Discard
+	}
+	var pfx [4]byte
+	if _, err := rand.Read(pfx[:]); err != nil {
+		return nil, fmt.Errorf("server: seeding request IDs: %w", err)
+	}
+	s := &Server{
+		pool:     make(chan *nalix.Engine, len(cfg.Engines)),
+		sessions: len(cfg.Engines),
+		reg:      reg,
+		slowAt:   slowAt,
+		store:    newTraceStore(traceCap, slowCap),
+		logW:     logW,
+		inflight: reg.Gauge("http_inflight"),
+		idPrefix: hex.EncodeToString(pfx[:]),
+	}
+	for _, eng := range cfg.Engines {
+		eng.SetMetricsRegistry(reg)
+		s.pool <- eng
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /ask", s.api("ask", func(eng *nalix.Engine, req *Request) (*Response, *nalix.Trace, error) {
+		ans, err := eng.AskTraced(req.Document, req.Question)
+		if err != nil {
+			return nil, nil, err
+		}
+		return FromAnswer("ask", req.Document, req.Question, ans), ans.Trace, nil
+	}))
+	s.mux.HandleFunc("POST /translate", s.api("translate", func(eng *nalix.Engine, req *Request) (*Response, *nalix.Trace, error) {
+		ans, err := eng.TranslateTraced(req.Document, req.Question)
+		if err != nil {
+			return nil, nil, err
+		}
+		return FromAnswer("translate", req.Document, req.Question, ans), ans.Trace, nil
+	}))
+	s.mux.HandleFunc("POST /query", s.api("query", func(eng *nalix.Engine, req *Request) (*Response, *nalix.Trace, error) {
+		ans, err := eng.QueryTraced(req.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		return FromAnswer("query", req.Document, req.Query, ans), ans.Trace, nil
+	}))
+	s.mux.HandleFunc("POST /keyword", s.api("keyword", func(eng *nalix.Engine, req *Request) (*Response, *nalix.Trace, error) {
+		q := req.Question
+		if q == "" {
+			q = req.Query
+		}
+		hits, tr, err := eng.KeywordSearchTraced(req.Document, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return FromKeyword(req.Document, q, hits, tr), tr, nil
+	}))
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+
+	// Standard-library operational surfaces: pprof and expvar, wired
+	// onto this mux so a server never depends on http.DefaultServeMux.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// Handler returns the server's HTTP handler — the hook tests and
+// embedders use to serve it through their own http.Server.
+func (s *Server) Handler() http.Handler {
+	return s.mux
+}
+
+// Sessions reports the size of the engine-session pool.
+func (s *Server) Sessions() int {
+	return s.sessions
+}
+
+// nextID mints a request ID: a per-process random prefix plus a
+// monotonic sequence number, unique within and across restarts.
+func (s *Server) nextID() string {
+	return fmt.Sprintf("%s-%06d", s.idPrefix, s.idSeq.Add(1))
+}
+
+// checkout borrows an engine session from the pool, giving up when the
+// context ends first.
+func (s *Server) checkout(ctx context.Context) (*nalix.Engine, error) {
+	select {
+	case eng := <-s.pool:
+		return eng, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// api wraps one engine operation in the request-level observability
+// envelope: request ID, in-flight gauge, session checkout, per-endpoint
+// latency histogram, error counters, trace retention, slow capture, and
+// the access-log record.
+func (s *Server) api(endpoint string, run func(*nalix.Engine, *Request) (*Response, *nalix.Trace, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.nextID()
+		w.Header().Set("X-Request-Id", id)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		s.reg.Add(obs.Labeled("http_requests_total", "endpoint", endpoint), 1)
+
+		now := time.Now()
+		rec := &AccessRecord{
+			Time:      now.UTC().Format(time.RFC3339Nano),
+			RequestID: id,
+			Endpoint:  endpoint,
+		}
+
+		var req Request
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			s.reg.Add(obs.Labeled("http_errors", "code", "bad-request"), 1)
+			s.fail(w, rec, http.StatusBadRequest, id, endpoint, fmt.Errorf("decoding request body: %w", err))
+			return
+		}
+		rec.Document = req.Document
+		rec.Question = req.Question
+		if rec.Question == "" {
+			rec.Question = req.Query
+		}
+
+		eng, err := s.checkout(r.Context())
+		if err != nil {
+			s.reg.Add(obs.Labeled("http_errors", "code", "unavailable"), 1)
+			s.fail(w, rec, http.StatusServiceUnavailable, id, endpoint, fmt.Errorf("no engine session available: %w", err))
+			return
+		}
+		start := time.Now()
+		resp, tr, err := run(eng, &req)
+		dur := time.Since(start)
+		s.pool <- eng
+
+		s.reg.Observe("http_"+endpoint+"_ns", float64(dur.Nanoseconds()))
+		rec.DurationNs = dur.Nanoseconds()
+
+		if err != nil {
+			s.reg.Add(obs.Labeled("http_errors", "code", "engine"), 1)
+			s.fail(w, rec, http.StatusUnprocessableEntity, id, endpoint, err)
+			return
+		}
+		resp.RequestID = id
+
+		slow := s.slowAt > 0 && dur >= s.slowAt
+		s.store.add(&traceEntry{
+			ID:       id,
+			Endpoint: endpoint,
+			Document: req.Document,
+			Question: rec.Question,
+			Time:     now,
+			Duration: dur,
+			Trace:    tr,
+		}, slow)
+
+		rec.Status = http.StatusOK
+		rec.Accepted = resp.Accepted
+		rec.FeedbackCode = resp.FeedbackCode
+		rec.Results = resp.Count
+		rec.Slow = slow
+		if resp.Trace != nil {
+			rec.Stages = resp.Trace.Stages
+		}
+		if !resp.Accepted && resp.FeedbackCode != "" {
+			s.reg.Add(obs.Labeled("http_errors", "code", resp.FeedbackCode), 1)
+		}
+		s.logRecord(rec)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// fail records and writes an error response.
+func (s *Server) fail(w http.ResponseWriter, rec *AccessRecord, status int, id, endpoint string, err error) {
+	rec.Status = status
+	rec.Error = err.Error()
+	s.logRecord(rec)
+	writeJSON(w, status, &Response{
+		RequestID: id,
+		Endpoint:  endpoint,
+		Error:     err.Error(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The header is gone; nothing useful can be written anymore.
+		return
+	}
+}
+
+// logRecord writes one access-log line. Writes are serialized under
+// logMu so each record lands as one intact JSONL line; a record is
+// flushed before its response is sent, so a drained server's log is
+// complete. An unwritable access log must not take down serving, so
+// write failures drop the line.
+func (s *Server) logRecord(rec *AccessRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if _, err := s.logW.Write(b); err != nil {
+		return
+	}
+}
+
+// handleHealthz reports liveness: a session can be borrowed within the
+// health timeout, a corpus is loaded, and the engine answers a trivial
+// query.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status    string   `json:"status"`
+		Documents []string `json:"documents,omitempty"`
+		Sessions  int      `json:"sessions"`
+		Reason    string   `json:"reason,omitempty"`
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), healthTimeout)
+	defer cancel()
+	eng, err := s.checkout(ctx)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, &health{
+			Status: "unavailable", Sessions: s.sessions,
+			Reason: "no engine session became free in time",
+		})
+		return
+	}
+	docs := eng.Documents()
+	var probeErr error
+	if len(docs) == 0 {
+		probeErr = fmt.Errorf("no corpus loaded")
+	} else if _, err := eng.Query("1"); err != nil {
+		probeErr = fmt.Errorf("probe query failed: %w", err)
+	}
+	s.pool <- eng
+	if probeErr != nil {
+		writeJSON(w, http.StatusServiceUnavailable, &health{
+			Status: "unavailable", Documents: docs, Sessions: s.sessions,
+			Reason: probeErr.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, &health{Status: "ok", Documents: docs, Sessions: s.sessions})
+}
+
+// handleMetrics serves the registry snapshot: deterministic JSON with
+// the per-endpoint latency histograms (http_<endpoint>_ns), pipeline
+// stage histograms (stage_<name>_ns), the http_inflight gauge, and the
+// error counters (http_errors{code=...}).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := s.reg.Snapshot().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(b); err != nil {
+		return
+	}
+}
+
+// handleSlow serves the slow-query ring, oldest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	entries, total := s.store.slowEntries()
+	out := struct {
+		ThresholdNs int64       `json:"threshold_ns"`
+		Total       int64       `json:"total"`
+		Entries     []SlowEntry `json:"entries"`
+	}{ThresholdNs: s.slowAt.Nanoseconds(), Total: total, Entries: []SlowEntry{}}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, SlowEntry{
+			RequestID:  e.ID,
+			Endpoint:   e.Endpoint,
+			Document:   e.Document,
+			Question:   e.Question,
+			Time:       e.Time.UTC().Format(time.RFC3339Nano),
+			DurationNs: e.Duration.Nanoseconds(),
+			Trace:      SummarizeTrace(e.Trace),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace serves one retained request's full span tree by ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.store.byID(id)
+	if e == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("no retained trace for request ID %q", id),
+		})
+		return
+	}
+	out := struct {
+		RequestID  string       `json:"request_id"`
+		Endpoint   string       `json:"endpoint"`
+		Document   string       `json:"document,omitempty"`
+		Question   string       `json:"question,omitempty"`
+		Time       string       `json:"time"`
+		DurationNs int64        `json:"duration_ns"`
+		Trace      *nalix.Trace `json:"trace"`
+		Rendered   string       `json:"rendered"`
+	}{
+		RequestID:  e.ID,
+		Endpoint:   e.Endpoint,
+		Document:   e.Document,
+		Question:   e.Question,
+		Time:       e.Time.UTC().Format(time.RFC3339Nano),
+		DurationNs: e.Duration.Nanoseconds(),
+		Trace:      e.Trace,
+		Rendered:   e.Trace.Render(),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Serve accepts connections on l until Shutdown or Close.
+func (s *Server) Serve(l net.Listener) error {
+	return s.http.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections
+// and waits for in-flight requests to drain (bounded by ctx). Access-log
+// records are written synchronously before each response, so a drained
+// server leaves a complete log behind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// Close stops the server immediately without draining.
+func (s *Server) Close() error {
+	return s.http.Close()
+}

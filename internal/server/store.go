@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"nalix"
+)
+
+// traceEntry is one served request's retained observability record.
+type traceEntry struct {
+	ID       string
+	Endpoint string
+	Document string
+	Question string
+	Time     time.Time
+	Duration time.Duration
+	Trace    *nalix.Trace
+}
+
+// traceStore retains request traces in two bounded rings: every recent
+// request (for /debug/traces/<id>) and the slow subset (for
+// /debug/slow). Both overwrite oldest-first when full; a slow request
+// stays retrievable by ID for as long as either ring holds it. Lookup
+// scans the rings — capacities are small (hundreds), and keeping no
+// side index means eviction cannot leak.
+type traceStore struct {
+	mu        sync.Mutex
+	recent    []*traceEntry
+	recentPos int
+	slow      []*traceEntry
+	slowPos   int
+	slowTotal int64
+}
+
+func newTraceStore(recentCap, slowCap int) *traceStore {
+	if recentCap < 0 {
+		recentCap = 0
+	}
+	if slowCap < 0 {
+		slowCap = 0
+	}
+	return &traceStore{
+		recent: make([]*traceEntry, recentCap),
+		slow:   make([]*traceEntry, slowCap),
+	}
+}
+
+// add retains an entry, additionally in the slow ring when slow is set.
+func (st *traceStore) add(e *traceEntry, slow bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.recent) > 0 {
+		st.recent[st.recentPos] = e
+		st.recentPos = (st.recentPos + 1) % len(st.recent)
+	}
+	if slow {
+		st.slowTotal++
+		if len(st.slow) > 0 {
+			st.slow[st.slowPos] = e
+			st.slowPos = (st.slowPos + 1) % len(st.slow)
+		}
+	}
+}
+
+// byID returns the retained entry with the given request ID, or nil.
+func (st *traceStore) byID(id string) *traceEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range st.slow {
+		if e != nil && e.ID == id {
+			return e
+		}
+	}
+	for _, e := range st.recent {
+		if e != nil && e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// slowEntries returns the slow ring oldest-first, plus the count of slow
+// requests ever seen (including evicted ones).
+func (st *traceStore) slowEntries() ([]*traceEntry, int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := len(st.slow)
+	var out []*traceEntry
+	for i := 0; i < n; i++ {
+		if e := st.slow[(st.slowPos+i)%n]; e != nil {
+			out = append(out, e)
+		}
+	}
+	return out, st.slowTotal
+}

@@ -56,6 +56,10 @@ type Engine struct {
 	// rec retains finished traces when tracing is enabled; nil keeps
 	// every query on the untraced, allocation-free path.
 	rec *obs.Recorder
+
+	// reg receives per-stage latency histograms from finished traces;
+	// nil means the process-wide obs.Default registry.
+	reg *obs.Registry
 }
 
 // DefaultTraceCapacity is how many finished traces the engine retains
@@ -86,6 +90,23 @@ func (e *Engine) RecentTraces() []*Trace {
 	return out
 }
 
+// SetMetricsRegistry directs the per-stage latency histograms of traced
+// calls into r instead of the process-wide obs.Default registry — the
+// hook a server uses to give each serving surface its own metrics
+// snapshot. A nil r restores the default. This is configuration: call it
+// before sharing the engine between goroutines.
+func (e *Engine) SetMetricsRegistry(r *obs.Registry) {
+	e.reg = r
+}
+
+// registry returns the metrics registry traces observe into.
+func (e *Engine) registry() *obs.Registry {
+	if e.reg != nil {
+		return e.reg
+	}
+	return obs.Default
+}
+
 // newTrace starts a trace when tracing is enabled, nil otherwise. A nil
 // trace has a nil root span, which keeps every downstream recording call
 // a no-op.
@@ -97,17 +118,32 @@ func (e *Engine) newTrace(name string) *obs.Trace {
 }
 
 // finishTrace closes a trace, feeds the stage-latency histograms,
-// retains it, and attaches the public snapshot to the answer.
-func (e *Engine) finishTrace(tr *obs.Trace, ans *Answer) {
+// retains it, attaches the public snapshot to the answer, and returns
+// that snapshot (nil on a nil trace).
+func (e *Engine) finishTrace(tr *obs.Trace, ans *Answer) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	tr.ObserveInto(e.registry())
+	e.rec.Record(tr)
+	snap := convertTrace(tr)
+	if ans != nil {
+		ans.Trace = snap
+	}
+	return snap
+}
+
+// failTrace closes a trace on an error path: the error is recorded as a
+// root attribute and the trace is finished and retained like any other,
+// so failed calls remain inspectable in RecentTraces and in per-request
+// traces instead of vanishing.
+func (e *Engine) failTrace(tr *obs.Trace, err error) {
 	if tr == nil {
 		return
 	}
-	tr.Finish()
-	tr.ObserveInto(obs.Default)
-	e.rec.Record(tr)
-	if ans != nil {
-		ans.Trace = convertTrace(tr)
-	}
+	tr.Root().Set("error", err.Error())
+	e.finishTrace(tr, nil)
 }
 
 // New returns an empty engine with the built-in generic thesaurus.
@@ -246,9 +282,21 @@ type Binding struct {
 // Translate runs the pipeline up to XQuery generation without evaluating
 // the query.
 func (e *Engine) Translate(docName, english string) (*Answer, error) {
-	t := e.newTrace("translate")
+	return e.translateWith(docName, english, e.newTrace("translate"))
+}
+
+// TranslateTraced is Translate with a per-call trace: the answer always
+// carries Answer.Trace, whether or not EnableTracing is on — the
+// request-scoped form servers use, one trace handle per request instead
+// of only the engine-global ring.
+func (e *Engine) TranslateTraced(docName, english string) (*Answer, error) {
+	return e.translateWith(docName, english, obs.NewTrace("translate"))
+}
+
+func (e *Engine) translateWith(docName, english string, t *obs.Trace) (*Answer, error) {
 	_, ans, err := e.translate(docName, english, t.Root())
 	if err != nil {
+		e.failTrace(t, err)
 		return nil, err
 	}
 	e.finishTrace(t, ans)
@@ -299,11 +347,23 @@ func convertFeedback(f core.Feedback, isErr bool) Feedback {
 // Ask translates an English sentence and, when accepted, evaluates the
 // resulting XQuery against the document.
 func (e *Engine) Ask(docName, english string) (*Answer, error) {
+	return e.askWith(docName, english, e.newTrace("ask"))
+}
+
+// AskTraced is Ask with a per-call trace: the answer always carries
+// Answer.Trace, whether or not EnableTracing is on — the request-scoped
+// form servers use, one trace handle per request instead of only the
+// engine-global ring.
+func (e *Engine) AskTraced(docName, english string) (*Answer, error) {
+	return e.askWith(docName, english, obs.NewTrace("ask"))
+}
+
+func (e *Engine) askWith(docName, english string, t *obs.Trace) (*Answer, error) {
 	queriesTotal.Add(1)
-	t := e.newTrace("ask")
 	root := t.Root()
 	res, ans, err := e.translate(docName, english, root)
 	if err != nil {
+		e.failTrace(t, err)
 		return nil, err
 	}
 	if !ans.Accepted {
@@ -316,7 +376,9 @@ func (e *Engine) Ask(docName, english string) (*Answer, error) {
 	seq, err := e.xq.EvalTraced(res.Query, esp)
 	esp.End()
 	if err != nil {
-		return nil, fmt.Errorf("nalix: evaluating translation: %w", err)
+		err = fmt.Errorf("nalix: evaluating translation: %w", err)
+		e.failTrace(t, err)
+		return nil, err
 	}
 	ssp := root.Start("serialize")
 	fill(ans, seq)
@@ -342,18 +404,29 @@ func countRejected(ans *Answer) {
 // documents and returns the answer (Accepted is always true; ParseTree is
 // empty).
 func (e *Engine) Query(xq string) (*Answer, error) {
-	t := e.newTrace("query")
+	return e.queryWith(xq, e.newTrace("query"))
+}
+
+// QueryTraced is Query with a per-call trace: the answer always carries
+// Answer.Trace, whether or not EnableTracing is on.
+func (e *Engine) QueryTraced(xq string) (*Answer, error) {
+	return e.queryWith(xq, obs.NewTrace("query"))
+}
+
+func (e *Engine) queryWith(xq string, t *obs.Trace) (*Answer, error) {
 	root := t.Root()
 	psp := root.Start("parse")
 	expr, err := xquery.Parse(xq)
 	psp.End()
 	if err != nil {
+		e.failTrace(t, err)
 		return nil, err
 	}
 	esp := root.Start("eval")
 	seq, err := e.xq.EvalTraced(expr, esp)
 	esp.End()
 	if err != nil {
+		e.failTrace(t, err)
 		return nil, err
 	}
 	ans := &Answer{Accepted: true, XQuery: xq}
@@ -381,18 +454,29 @@ func fill(ans *Answer, seq xquery.Sequence) {
 // returns the serialized meet results — the comparison system of the
 // paper's user study.
 func (e *Engine) KeywordSearch(docName, query string) ([]string, error) {
+	out, _, err := e.keywordWith(docName, query, e.newTrace("keyword"))
+	return out, err
+}
+
+// KeywordSearchTraced is KeywordSearch with a per-call trace, returned
+// alongside the results (KeywordSearch has no Answer to attach it to).
+func (e *Engine) KeywordSearchTraced(docName, query string) ([]string, *Trace, error) {
+	return e.keywordWith(docName, query, obs.NewTrace("keyword"))
+}
+
+func (e *Engine) keywordWith(docName, query string, t *obs.Trace) ([]string, *Trace, error) {
 	if docName == "" {
 		docName = e.defName
 	}
 	kw, ok := e.keywords[docName]
 	if !ok {
-		return nil, fmt.Errorf("nalix: document %q not loaded", docName)
+		err := fmt.Errorf("nalix: document %q not loaded", docName)
+		e.failTrace(t, err)
+		return nil, nil, err
 	}
-	t := e.newTrace("keyword")
 	var out []string
 	for _, hit := range kw.SearchTraced(query, t.Root()) {
 		out = append(out, xmldb.SerializeString(hit.Node))
 	}
-	e.finishTrace(t, nil)
-	return out, nil
+	return out, e.finishTrace(t, nil), nil
 }

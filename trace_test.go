@@ -133,6 +133,171 @@ func TestRecentTraces(t *testing.T) {
 	}
 }
 
+// wellFormedTrace asserts the structural invariants every finished
+// trace must satisfy, on any path: a named root, no empty span names
+// anywhere in the tree, and a renderable form.
+func wellFormedTrace(t *testing.T, tr *Trace) {
+	t.Helper()
+	if tr == nil || tr.Root == nil {
+		t.Fatal("trace or root missing")
+	}
+	var walk func(s *TraceSpan)
+	walk = func(s *TraceSpan) {
+		if s.Name == "" {
+			t.Errorf("empty span name in trace:\n%s", tr.Render())
+		}
+		for _, c := range s.Children {
+			if c == nil {
+				t.Fatalf("nil child span in trace:\n%s", tr.Render())
+			}
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	if tr.Render() == "" {
+		t.Error("trace renders empty")
+	}
+}
+
+// TestTraceParseFailure: a question the NL parser cannot process at all
+// still produces a well-formed trace — finished, retained, and tagged
+// with the error — instead of vanishing with the failed call.
+func TestTraceParseFailure(t *testing.T) {
+	e := newTracingEngine(t)
+	if _, err := e.Ask("", ""); err == nil {
+		t.Fatal("expected a parse error for empty input")
+	}
+	traces := e.RecentTraces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces after failed Ask, want 1", len(traces))
+	}
+	tr := traces[0]
+	wellFormedTrace(t, tr)
+	if tr.Root.Name != "ask" {
+		t.Errorf("root = %q, want ask", tr.Root.Name)
+	}
+	var errAttr string
+	for _, a := range tr.Root.Attrs {
+		if a.Key == "error" {
+			errAttr = a.Value
+		}
+	}
+	if !strings.Contains(errAttr, "empty query") {
+		t.Errorf("root error attr = %q, want the parse error", errAttr)
+	}
+	if len(tr.Root.Children) == 0 || tr.Root.Children[0].Name != "parse" {
+		t.Errorf("failed ask lost its parse span:\n%s", tr.Render())
+	}
+}
+
+// TestTraceValidationFeedback: a question that draws validation
+// feedback produces a well-formed trace on the answer, with the
+// rejection marked and every feedback code tagged as a counter.
+func TestTraceValidationFeedback(t *testing.T) {
+	e := newTracingEngine(t)
+	ans, err := e.Ask("", "Return every book as cheap as possible.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Accepted {
+		t.Fatal("expected rejection")
+	}
+	wellFormedTrace(t, ans.Trace)
+	var accepted string
+	for _, a := range ans.Trace.Root.Attrs {
+		if a.Key == "accepted" {
+			accepted = a.Value
+		}
+	}
+	if accepted != "false" {
+		t.Errorf("root accepted attr = %q, want false", accepted)
+	}
+	var tagged bool
+	for _, c := range ans.Trace.Counters {
+		if strings.HasPrefix(c.Name, "feedback{code=") && c.Value > 0 {
+			tagged = true
+		}
+	}
+	if !tagged {
+		t.Errorf("no feedback code tagged in trace counters: %+v", ans.Trace.Counters)
+	}
+	// The pipeline stops at validation: no eval or serialize spans.
+	for _, c := range ans.Trace.Root.Children {
+		if c.Name == "eval" || c.Name == "serialize" {
+			t.Errorf("rejected question ran stage %q:\n%s", c.Name, ans.Trace.Render())
+		}
+	}
+}
+
+// TestQueryTraceFailure: a malformed raw XQuery still finishes and
+// retains its trace with the parse span and the error tagged.
+func TestQueryTraceFailure(t *testing.T) {
+	e := newTracingEngine(t)
+	if _, err := e.Query("for $x in ((("); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	traces := e.RecentTraces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces after failed Query, want 1", len(traces))
+	}
+	wellFormedTrace(t, traces[0])
+	if traces[0].Root.Name != "query" {
+		t.Errorf("root = %q, want query", traces[0].Root.Name)
+	}
+}
+
+// TestPerRequestTracedVariants: the *Traced methods attach a per-call
+// trace without EnableTracing — the request-scoped form the HTTP server
+// uses — while the untraced methods stay traceless.
+func TestPerRequestTracedVariants(t *testing.T) {
+	e := newEngine(t) // tracing NOT enabled
+	ans, err := e.AskTraced("", acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormedTrace(t, ans.Trace)
+	if ans.Trace.Root.Name != "ask" {
+		t.Errorf("root = %q, want ask", ans.Trace.Root.Name)
+	}
+
+	tans, err := e.TranslateTraced("", "List all titles.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormedTrace(t, tans.Trace)
+
+	qans, err := e.QueryTraced(`for $b in doc("bib.xml")//book return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormedTrace(t, qans.Trace)
+
+	hits, ktr, err := e.KeywordSearchTraced("", `book "Addison-Wesley"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("keyword search found nothing")
+	}
+	wellFormedTrace(t, ktr)
+	if ktr.Root.Name != "keyword" {
+		t.Errorf("root = %q, want keyword", ktr.Root.Name)
+	}
+
+	// Per-request tracing does not retain anything engine-wide, and the
+	// plain methods remain traceless.
+	if got := e.RecentTraces(); got != nil {
+		t.Fatalf("RecentTraces = %d traces without EnableTracing", len(got))
+	}
+	plain, err := e.Ask("", acceptanceQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced Ask attached a trace")
+	}
+}
+
 // TestConcurrentAsk is the contract test for the Engine doc comment: a
 // configured engine serves Ask, Translate, Query and KeywordSearch from
 // many goroutines. Run with -race.

@@ -12,3 +12,12 @@ go test -race ./...
 # Benchmark smoke: run every benchmark for a single iteration (no
 # timing), so bit-rot in the bench harness fails the gate.
 go test -run '^$' -bench . -benchtime 1x ./...
+
+# Benchmark regression guard: re-run the benchmarks with committed
+# BENCH_*.json baselines at real iteration counts and fail if any
+# guarded ns/op regresses past 1.5x its baseline. benchguard takes the
+# min across -count repetitions, so short runs stay noise-tolerant.
+BENCHOUT="$(mktemp)"
+go test -run '^$' -bench 'BenchmarkAsk$|BenchmarkEvalStage$' -benchtime 100x -count 5 . >"$BENCHOUT"
+go run ./cmd/benchguard "$BENCHOUT"
+rm -f "$BENCHOUT"
