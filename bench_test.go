@@ -179,6 +179,55 @@ func BenchmarkAsk(b *testing.B) {
 	b.Run("traced", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkAskCached measures the layered query cache on the full Ask
+// path with the same question both ways. "miss" reloads the document
+// between iterations (outside the timer), which bumps the corpus
+// generation and makes every ask a true cold query through the cached
+// machinery: canonicalization, key build, result-cache lookup,
+// singleflight, the pipeline, and the store. "hit" warms the cache
+// once, so every timed ask is a result-cache read plus an answer copy.
+// The gap between the two is what EnableCache buys on repeated
+// questions; headline numbers live in BENCH_cache.json.
+func BenchmarkAskCached(b *testing.B) {
+	newCached := func(b *testing.B) *Engine {
+		e := New()
+		e.EnableCache(CacheConfig{})
+		if err := e.LoadXMLString("bib.xml", bibXML); err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	const q = `Find all books published by "Addison-Wesley" after 1991.`
+	b.Run("miss", func(b *testing.B) {
+		e := newCached(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ans, err := e.Ask("", q)
+			if err != nil || !ans.Accepted || ans.Cached {
+				b.Fatalf("ask: %v %v", err, ans)
+			}
+			b.StopTimer()
+			if err := e.LoadXMLString("bib.xml", bibXML); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		e := newCached(b)
+		if _, err := e.Ask("", q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ans, err := e.Ask("", q)
+			if err != nil || !ans.Accepted || !ans.Cached {
+				b.Fatalf("ask: %v %v", err, ans)
+			}
+		}
+	})
+}
+
 // BenchmarkEvalStage measures the XQuery evaluation stage alone, traced
 // vs untraced, on the paper-scale corpus. Traced evaluation pays for
 // clock reads around the planner, each clause-domain evaluation, and each

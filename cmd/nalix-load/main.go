@@ -44,9 +44,10 @@ func main() {
 	n := flag.Int("n", 500, "total requests")
 	c := flag.Int("c", 8, "concurrent clients")
 	out := flag.String("out", "", "write the result JSON to this file (empty prints to stdout)")
+	nocache := flag.Bool("nocache", false, "disable the layered query cache in the -self server's engines")
 	flag.Parse()
 
-	if err := run(*url, *self, *corpus, *sessions, *endpoint, *question, *document, *n, *c, *out); err != nil {
+	if err := run(*url, *self, *corpus, *sessions, *endpoint, *question, *document, *n, *c, *out, *nocache); err != nil {
 		fmt.Fprintln(os.Stderr, "nalix-load:", err)
 		os.Exit(1)
 	}
@@ -76,7 +77,7 @@ type latency struct {
 	Mean float64 `json:"mean"`
 }
 
-func run(url string, self bool, corpus string, sessions int, endpoint, question, document string, n, c int, out string) error {
+func run(url string, self bool, corpus string, sessions int, endpoint, question, document string, n, c int, out string, nocache bool) error {
 	if (url == "") == !self {
 		return fmt.Errorf("exactly one of -url or -self is required")
 	}
@@ -91,7 +92,7 @@ func run(url string, self bool, corpus string, sessions int, endpoint, question,
 		Concurrency: c,
 	}
 	if self {
-		ts, err := selfServer(corpus, sessions)
+		ts, err := selfServer(corpus, sessions, nocache)
 		if err != nil {
 			return err
 		}
@@ -213,7 +214,7 @@ func fire(target string, body []byte) (err error) {
 }
 
 // selfServer stands up an in-process server over the named corpus.
-func selfServer(corpus string, sessions int) (*httptest.Server, error) {
+func selfServer(corpus string, sessions int, nocache bool) (*httptest.Server, error) {
 	if sessions < 1 {
 		sessions = 1
 	}
@@ -225,9 +226,16 @@ func selfServer(corpus string, sessions int) (*httptest.Server, error) {
 	if err := dataset.WriteXML(&sb, doc); err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	engines := make([]*nalix.Engine, sessions)
 	for i := range engines {
 		e := nalix.New()
+		// Metrics registry before EnableCache: the cache layers bind
+		// their counters at construction.
+		e.SetMetricsRegistry(reg)
+		if !nocache {
+			e.EnableCache(nalix.CacheConfig{})
+		}
 		if err := e.LoadXMLString(doc.Name, sb.String()); err != nil {
 			return nil, err
 		}
@@ -235,7 +243,7 @@ func selfServer(corpus string, sessions int) (*httptest.Server, error) {
 	}
 	srv, err := server.New(server.Config{
 		Engines:  engines,
-		Registry: obs.NewRegistry(),
+		Registry: reg,
 	})
 	if err != nil {
 		return nil, err

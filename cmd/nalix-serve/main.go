@@ -44,15 +44,16 @@ func main() {
 	traceCap := flag.Int("traces", server.DefaultTraceCapacity, "recent-trace ring capacity (backs /debug/traces)")
 	accessLog := flag.String("access-log", "", "access-log file (JSONL, appended); empty logs to stderr")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	nocache := flag.Bool("nocache", false, "disable the layered query cache (translation, plan, result)")
 	flag.Parse()
 
-	if err := run(*addr, *docPath, *corpus, *sessions, *slow, *slowCap, *traceCap, *accessLog, *drain); err != nil {
+	if err := run(*addr, *docPath, *corpus, *sessions, *slow, *slowCap, *traceCap, *accessLog, *drain, *nocache); err != nil {
 		fmt.Fprintln(os.Stderr, "nalix-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, docPath, corpus string, sessions int, slow time.Duration, slowCap, traceCap int, accessLog string, drain time.Duration) error {
+func run(addr, docPath, corpus string, sessions int, slow time.Duration, slowCap, traceCap int, accessLog string, drain time.Duration, nocache bool) error {
 	if sessions < 1 {
 		sessions = 1
 	}
@@ -63,6 +64,11 @@ func run(addr, docPath, corpus string, sessions int, slow time.Duration, slowCap
 	engines := make([]*nalix.Engine, sessions)
 	for i := range engines {
 		e := nalix.New()
+		// The server points every session at its registry (obs.Default
+		// here), which is also where EnableCache binds its counters.
+		if !nocache {
+			e.EnableCache(nalix.CacheConfig{})
+		}
 		if err := e.LoadXMLString(name, xml); err != nil {
 			return err
 		}

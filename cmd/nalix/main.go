@@ -49,11 +49,15 @@ func main() {
 	flag.BoolVar(&d.explain, "explain", false, "print each query's pipeline span tree with timings")
 	flag.BoolVar(&d.trace, "trace", false, "print each query's trace as JSON")
 	flag.BoolVar(&d.json, "json", false, "emit one JSON object per query (the nalix-serve response schema)")
+	nocache := flag.Bool("nocache", false, "disable the layered query cache (translation, plan, result)")
 	flag.Parse()
 
 	eng := nalix.New()
 	if d.explain || d.trace {
 		eng.EnableTracing(0)
+	}
+	if !*nocache {
+		eng.EnableCache(nalix.CacheConfig{})
 	}
 	name, err := load(eng, *docPath, *corpus)
 	if err != nil {

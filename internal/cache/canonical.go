@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"strings"
+	"unicode"
+)
+
+// CanonicalQuery maps an English query sentence to its cache-key form.
+// Two sentences share a canonical form only when the NL tokenizer
+// produces the same token stream for both (internal/nlp.Tokenize), so
+// distinct queries can never collide on a normalization artifact. The
+// transformations, each justified by a tokenizer/parser invariant:
+//
+//   - Runs of whitespace outside quoted spans collapse to one space, and
+//     leading/trailing whitespace is dropped (the tokenizer splits on any
+//     whitespace run).
+//   - Quoted spans are kept verbatim (minus the edge-trimming the
+//     tokenizer itself applies), rewritten with straight quotes and
+//     separated from neighbors by single spaces; empty quotes vanish
+//     (the tokenizer emits no token for them).
+//   - A trailing run of sentence-final punctuation (. ? !) is dropped
+//     (the tokenizer discards those characters).
+//   - The sentence-initial word is lowercased when it is a plain ASCII
+//     word: the parser never consults the first word's capitalization
+//     (proper-noun runs require a non-initial position) and lexicon
+//     lookup goes through the lowercased lemma, so "Find ..." and
+//     "find ..." are the same query. Mid-sentence case is semantic
+//     ("Gone with the Wind") and is never touched.
+//
+// The function is idempotent: CanonicalQuery(CanonicalQuery(s)) ==
+// CanonicalQuery(s).
+func CanonicalQuery(s string) string {
+	rs := []rune(s)
+	var out []rune
+	pendingSpace := false
+	sep := func() {
+		if pendingSpace && len(out) > 0 {
+			out = append(out, ' ')
+		}
+		pendingSpace = false
+	}
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '"' || r == '“': // straight or curly open quote
+			close := '"'
+			if r == '“' {
+				close = '”'
+			}
+			j := i + 1
+			for j < len(rs) && rs[j] != close && rs[j] != '"' {
+				j++
+			}
+			end := j
+			if end > len(rs) {
+				end = len(rs)
+			}
+			content := strings.TrimSpace(string(rs[i+1 : end]))
+			if content != "" {
+				sep()
+				out = append(out, '"')
+				out = append(out, []rune(content)...)
+				out = append(out, '"')
+				pendingSpace = true
+			}
+			i = j + 1
+		case unicode.IsSpace(r):
+			pendingSpace = true
+			i++
+		default:
+			sep()
+			for i < len(rs) && !unicode.IsSpace(rs[i]) && rs[i] != '"' && rs[i] != '“' {
+				out = append(out, rs[i])
+				i++
+			}
+			pendingSpace = true
+		}
+	}
+	// Drop the trailing sentence-final punctuation run (with any spaces
+	// interleaved); quoted spans end in '"', which stops the loop, so
+	// punctuation inside values survives.
+	for len(out) > 0 {
+		last := out[len(out)-1]
+		if last == '.' || last == '?' || last == '!' || last == ' ' {
+			out = out[:len(out)-1]
+			continue
+		}
+		break
+	}
+	lowerFirstWord(out)
+	return string(out)
+}
+
+// lowerFirstWord lowercases the sentence-initial word in place when it
+// is entirely ASCII letters (quoted values and mixed tokens are left
+// alone, as is any non-ASCII word, where lowercasing can change the
+// rune sequence in tokenizer-visible ways).
+func lowerFirstWord(out []rune) {
+	end := 0
+	for end < len(out) && out[end] != ' ' {
+		if !isASCIIAlpha(out[end]) {
+			return
+		}
+		end++
+	}
+	for k := 0; k < end; k++ {
+		if out[k] >= 'A' && out[k] <= 'Z' {
+			out[k] += 'a' - 'A'
+		}
+	}
+}
+
+func isASCIIAlpha(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"nalix/internal/nlp"
+)
+
+func TestCanonicalQueryForms(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Find all books.", "find all books"},
+		{"find   all \t books", "find all books"},
+		{"  List titles of books?  ", "list titles of books"},
+		{"Find books!!", "find books"},
+		{"Find books published by \"Addison-Wesley\".", `find books published by "Addison-Wesley"`},
+		{"Find books published by “Addison-Wesley”.", `find books published by "Addison-Wesley"`},
+		{`Find books titled " TCP/IP Illustrated "`, `find books titled "TCP/IP Illustrated"`},
+		{`Find books titled ""`, "find books titled"},
+		{`Find "Data on the Web."`, `find "Data on the Web."`}, // punctuation inside a value survives
+		{"", ""},
+		{"   ", ""},
+		{"...", ""},
+		{"FIND books", "find books"},
+		{"1991 was a year", "1991 was a year"}, // non-alpha first word untouched
+		{"Éditions Gallimard", "Éditions Gallimard"}, // non-ASCII first word untouched
+	}
+	for _, c := range cases {
+		if got := CanonicalQuery(c.in); got != c.want {
+			t.Errorf("CanonicalQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalQueryIdempotent(t *testing.T) {
+	inputs := []string{
+		"Find all books published by \"Addison-Wesley\" after 1991.",
+		"  What   are the titles?  ",
+		"Show “Gone with the Wind” reviews!",
+		"Find books titled \"unterminated",
+		"a\"b\"c",
+	}
+	for _, in := range inputs {
+		once := CanonicalQuery(in)
+		if twice := CanonicalQuery(once); twice != once {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+// TestCanonicalQueryNoFalseMerge lists pairs of semantically distinct
+// queries (different token streams, hence potentially different answers)
+// and asserts they never share a cache key.
+func TestCanonicalQueryNoFalseMerge(t *testing.T) {
+	pairs := [][2]string{
+		{"Find all books", "Find all book"},
+		{"Find all Books", "Find all books"},               // mid-sentence case is semantic (proper-noun runs)
+		{`Find "Addison-Wesley"`, `Find "addison-wesley"`}, // quoted values match verbatim
+		{`Find "a  b"`, `Find "a b"`},                      // interior whitespace of a value is part of it
+		{"Find books after 1991", "Find books after 1992"},
+		{`Find "Data on the Web"`, "Find Data on the Web"},
+		{"Who wrote it?", "What wrote it?"},
+	}
+	for _, p := range pairs {
+		a, b := CanonicalQuery(p[0]), CanonicalQuery(p[1])
+		if a == b {
+			t.Errorf("distinct queries collided: %q and %q both -> %q", p[0], p[1], a)
+		}
+	}
+}
+
+// TestCanonicalQueryTokenEquivalence is the soundness property: the
+// canonical form must tokenize to the same stream as the original, so a
+// cache hit on the canonical key can never cross two queries the NL
+// pipeline would treat differently.
+func TestCanonicalQueryTokenEquivalence(t *testing.T) {
+	inputs := []string{
+		"Find all books published by \"Addison-Wesley\" after 1991.",
+		"  find   ALL  books  ",
+		"Show “Gone with the Wind” reviews!",
+		"List the author's books?",
+		"Which books don't have reviews",
+		"Find books cheaper than 39.95",
+		"Find books titled \" spaced  value \".",
+		"Return titles, prices; and years.",
+		"Find books titled \"unterminated",
+		"",
+	}
+	for _, in := range inputs {
+		checkTokenEquivalence(t, in)
+	}
+}
+
+// checkTokenEquivalence fails t unless nlp.Tokenize(in) and
+// nlp.Tokenize(CanonicalQuery(in)) are equivalent streams: identical in
+// every field the parser and lexicon consult, with the two deliberate
+// exceptions of the sentence-initial word, whose Text may differ by ASCII
+// case and whose Cap flag the parser never reads (proper-noun runs
+// require a non-initial position).
+func checkTokenEquivalence(t *testing.T, in string) {
+	t.Helper()
+	canon := CanonicalQuery(in)
+	orig := nlp.Tokenize(in)
+	redo := nlp.Tokenize(canon)
+	if len(orig) != len(redo) {
+		t.Errorf("token count changed for %q -> %q: %d vs %d", in, canon, len(orig), len(redo))
+		return
+	}
+	for i := range orig {
+		o, r := orig[i], redo[i]
+		if o.Lemma != r.Lemma || o.Quoted != r.Quoted || o.Number != r.Number || o.Pos != r.Pos {
+			t.Errorf("token %d diverged for %q -> %q: %+v vs %+v", i, in, canon, o, r)
+			continue
+		}
+		if i == 0 && !o.Quoted {
+			if !strings.EqualFold(o.Text, r.Text) {
+				t.Errorf("first token text diverged beyond case for %q -> %q: %q vs %q", in, canon, o.Text, r.Text)
+			}
+			continue
+		}
+		if o.Text != r.Text || o.Cap != r.Cap {
+			t.Errorf("token %d surface diverged for %q -> %q: %+v vs %+v", i, in, canon, o, r)
+		}
+	}
+}

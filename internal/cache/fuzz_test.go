@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"testing"
+)
+
+// seedQueries is the committed corpus of semantically distinct English
+// queries: pairwise-distinct token streams, so no two may share a cache
+// key (asserted by TestSeedCorpusNoCollisions). The same list seeds
+// FuzzCanonicalQuery; the files under testdata/fuzz mirror the trickier
+// entries so the corpus is versioned even where go test trims f.Add.
+var seedQueries = []string{
+	"Find all books published by \"Addison-Wesley\" after 1991.",
+	"find all books published by Addison-Wesley after 1991",
+	"List the titles of all books.",
+	"List the title of all books.",
+	"Show “Gone with the Wind” reviews!",
+	"Show \"gone with the wind\" reviews!",
+	"Which books don't have reviews?",
+	"Which books do have reviews?",
+	"Find books cheaper than 39.95",
+	"Find books cheaper than 39.96",
+	"Return the author's first book",
+	"Return the authors first book",
+	"Find books titled \" TCP/IP Illustrated \"",
+	"Find books titled \"TCP/IP  Illustrated\"",
+	"Find books with more than two authors",
+	"Find books with more than ten authors",
+	"Return titles, prices; and years.",
+	"Return titles prices and years.",
+	"Find all Books by Ron Howard",
+	"Find all books by Ron Howard",
+}
+
+// TestSeedCorpusNoCollisions proves the committed seeds — all
+// semantically distinct — map to pairwise distinct cache keys.
+func TestSeedCorpusNoCollisions(t *testing.T) {
+	keys := make(map[string]string, len(seedQueries))
+	for _, q := range seedQueries {
+		k := CanonicalQuery(q)
+		if prev, ok := keys[k]; ok {
+			t.Errorf("seeds collide on key %q: %q and %q", k, prev, q)
+		}
+		keys[k] = q
+	}
+}
+
+// FuzzCanonicalQuery checks the two properties that make CanonicalQuery
+// a sound cache key for arbitrary input: it is idempotent, and the
+// canonical form tokenizes to a stream equivalent to the original's, so
+// a key collision implies the NL pipeline sees the same query.
+func FuzzCanonicalQuery(f *testing.F) {
+	for _, q := range seedQueries {
+		f.Add(q)
+	}
+	f.Add("")
+	f.Add("   ")
+	f.Add("...?!")
+	f.Add("a\"b\"c")
+	f.Add("Find books titled \"unterminated")
+	f.Add("stray ” close “ then open")
+	f.Add(" nbsp separated words")
+	f.Add("É́ combining marks")
+	f.Fuzz(func(t *testing.T, s string) {
+		once := CanonicalQuery(s)
+		if twice := CanonicalQuery(once); twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+		checkTokenEquivalence(t, s)
+	})
+}

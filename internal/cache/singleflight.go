@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nalix/internal/obs"
+)
+
+// Flight deduplicates concurrent identical computations: while one
+// goroutine (the leader) runs fn for a key, every other goroutine asking
+// for the same key blocks and receives the leader's result instead of
+// recomputing it. The cache layers use it to keep a thundering herd of
+// identical cold queries down to a single pipeline run.
+//
+// Unlike golang.org/x/sync/singleflight this is generic over the result
+// type, carries obs instrumentation, and deliberately shares errors:
+// followers of a failed leader observe the leader's error, which is the
+// right call for deterministic query evaluation (the retry would fail
+// identically).
+type Flight[V any] struct {
+	// mu guards calls.
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+
+	nExecs, nShared atomic.Int64
+	execs, shared   *obs.StatCounter
+}
+
+// flightCall is one in-flight computation. val and err are written by
+// the leader before wg.Done and read by followers after wg.Wait, so the
+// WaitGroup provides the happens-before edge.
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+	// waiters counts followers committed to this call; it is guarded by
+	// the owning Flight's mu and lets tests (and debugging) observe
+	// coalescing deterministically.
+	waiters int
+}
+
+// NewFlight returns an empty group. The name labels the group's metrics
+// (singleflight_<name>_execs / singleflight_<name>_shared); a nil
+// registry means obs.Default.
+func NewFlight[V any](name string, reg *obs.Registry) *Flight[V] {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Flight[V]{
+		calls:  make(map[string]*flightCall[V]),
+		execs:  reg.Counter("singleflight_" + name + "_execs"),
+		shared: reg.Counter("singleflight_" + name + "_shared"),
+	}
+}
+
+// Do runs fn for key, unless a call for the same key is already in
+// flight, in which case it waits for that call and returns its result.
+// shared reports whether the result came from another goroutine's run.
+func (f *Flight[V]) Do(key string, fn func() (V, error)) (v V, shared bool, err error) {
+	c, found := f.join(key)
+	if found {
+		c.wg.Wait()
+		f.shared.Add(1)
+		f.nShared.Add(1)
+		return c.val, true, c.err
+	}
+
+	f.execs.Add(1)
+	f.nExecs.Add(1)
+	c.val, c.err = fn()
+
+	f.forget(key)
+	c.wg.Done()
+	return c.val, false, c.err
+}
+
+// join returns the in-flight call for key (found=true, registered as a
+// waiter) or registers a fresh one with the caller as leader.
+func (f *Flight[V]) join(key string) (c *flightCall[V], found bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		c.waiters++
+		return c, true
+	}
+	c = &flightCall[V]{}
+	c.wg.Add(1)
+	f.calls[key] = c
+	return c, false
+}
+
+// forget drops the in-flight record for key; later callers start fresh.
+func (f *Flight[V]) forget(key string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.calls, key)
+}
+
+// FlightStats is a group's point-in-time statistics.
+type FlightStats struct {
+	// Execs counts leader runs (underlying computations).
+	Execs int64 `json:"execs"`
+	// Shared counts calls served by another goroutine's run.
+	Shared int64 `json:"shared"`
+}
+
+// Stats snapshots the group.
+func (f *Flight[V]) Stats() FlightStats {
+	return FlightStats{
+		Execs:  f.nExecs.Load(),
+		Shared: f.nShared.Load(),
+	}
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nalix/internal/obs"
+)
+
+// waiterCount reports how many followers are committed to the in-flight
+// call for key. Once a follower is counted it will take the shared path
+// no matter how the goroutines are scheduled afterwards, so tests can
+// block on this to make coalescing assertions deterministic.
+func waiterCount[V any](f *Flight[V], key string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}
+
+func waitForWaiters[V any](t *testing.T, f *Flight[V], key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for waiterCount(f, key) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d/%d followers coalesced", waiterCount(f, key), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFlightDedup(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFlight[int]("test", reg)
+
+	const followers = 8
+	var runs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	leaderDone := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, shared, err := f.Do("k", func() (int, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: v=%d shared=%v err=%v", v, shared, err)
+		}
+		leaderDone <- v
+	}()
+
+	<-started // the leader is inside fn; everyone else must coalesce
+	results := make(chan int, followers)
+	sharedCount := make(chan bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := f.Do("k", func() (int, error) {
+				runs.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Errorf("follower err: %v", err)
+			}
+			results <- v
+			sharedCount <- shared
+		}()
+	}
+	waitForWaiters(t, f, "k", followers)
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader got %d, want 42", v)
+	}
+	for i := 0; i < followers; i++ {
+		if v := <-results; v != 42 {
+			t.Fatalf("follower got %d, want 42", v)
+		}
+		if !<-sharedCount {
+			t.Fatal("follower not marked shared")
+		}
+	}
+	st := f.Stats()
+	if st.Execs != 1 || st.Shared != int64(followers) {
+		t.Fatalf("stats = %+v, want execs=1 shared=%d", st, followers)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("singleflight_test_execs") != 1 {
+		t.Fatalf("obs execs = %d, want 1", snap.Counter("singleflight_test_execs"))
+	}
+	if snap.Counter("singleflight_test_shared") != int64(followers) {
+		t.Fatalf("obs shared = %d, want %d", snap.Counter("singleflight_test_shared"), followers)
+	}
+}
+
+func TestFlightErrorShared(t *testing.T) {
+	f := NewFlight[string]("err", obs.NewRegistry())
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := f.Do("k", func() (string, error) {
+			close(started)
+			<-release
+			return "", boom
+		})
+		if err != boom {
+			t.Errorf("leader err = %v, want boom", err)
+		}
+	}()
+	<-started
+	followerErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, shared, err := f.Do("k", func() (string, error) { return "unused", nil })
+		if !shared {
+			t.Error("follower of failed leader not marked shared")
+		}
+		followerErr <- err
+	}()
+	waitForWaiters(t, f, "k", 1)
+	close(release)
+	wg.Wait()
+	if err := <-followerErr; err != boom {
+		t.Fatalf("follower err = %v, want the leader's error", err)
+	}
+}
+
+func TestFlightSequentialCallsRunAgain(t *testing.T) {
+	f := NewFlight[int]("seq", obs.NewRegistry())
+	for i := 0; i < 3; i++ {
+		v, shared, err := f.Do("k", func() (int, error) { return i, nil })
+		if err != nil || shared || v != i {
+			t.Fatalf("call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+	if st := f.Stats(); st.Execs != 3 || st.Shared != 0 {
+		t.Fatalf("stats = %+v, want execs=3 shared=0", st)
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"nalix/internal/cache"
 	"nalix/internal/nlp"
 	"nalix/internal/obs"
 	"nalix/internal/ontology"
@@ -199,11 +201,24 @@ func (f Feedback) String() string {
 	return s
 }
 
+// translatorSeq hands out unique translator identities. Replacing a
+// document creates a new Translator with a new id, so translation-cache
+// entries keyed by the old id become unreachable without any scanning.
+var translatorSeq atomic.Int64
+
 // Translator turns English sentences into Schema-Free XQuery against one
 // document. The zero value is not usable; construct with NewTranslator.
 type Translator struct {
 	doc *xmldb.Document
 	ont *ontology.Ontology
+
+	// id is this translator's unique identity, part of every
+	// translation-cache key (see translatorSeq).
+	id int64
+	// resCache, when set via SetCache, memoizes complete translation
+	// Results by canonicalized sentence. Cached Results are shared:
+	// callers must treat them as immutable (the engine facade does).
+	resCache *cache.Cache[string, *Result]
 
 	// DisableCoreTokens turns off core-token identification (Def. 3),
 	// for the ablation benchmarks: every equivalence then falls back to
@@ -288,7 +303,23 @@ func NewTranslator(doc *xmldb.Document, ont *ontology.Ontology) *Translator {
 	if ont == nil {
 		ont = ontology.New()
 	}
-	return &Translator{doc: doc, ont: ont}
+	return &Translator{doc: doc, ont: ont, id: translatorSeq.Add(1)}
+}
+
+// SetCache installs a translation cache shared with other translators
+// (keys embed the translator id, so entries never cross documents).
+// This is configuration: call it before translating concurrently.
+func (t *Translator) SetCache(c *cache.Cache[string, *Result]) {
+	t.resCache = c
+}
+
+// cacheKey builds the translation-cache key for a sentence: translator
+// identity (unique per loaded document instance), ontology generation
+// (term expansion feeds label matching), and the canonicalized sentence.
+// Any document reload or synonym change shifts the key, so stale entries
+// are simply never looked up again.
+func (t *Translator) cacheKey(sentence string) string {
+	return fmt.Sprintf("t%d|o%d|%s", t.id, t.ont.Generation(), cache.CanonicalQuery(sentence))
 }
 
 // Result is the outcome of translating one sentence.
@@ -338,7 +369,30 @@ func (t *Translator) Translate(sentence string) (*Result, error) {
 // recorded as child spans with deterministic attributes (node counts,
 // token-type histogram, feedback codes, binding counts). A nil sp makes
 // it identical to Translate: nothing is recorded and nothing allocated.
+//
+// With a translation cache installed (SetCache), a sentence already
+// translated under the current document and ontology returns the cached
+// Result — the parse/classify/validate/translate stages do not run and
+// the span records translation_cache=hit instead of child stages.
 func (t *Translator) TranslateTraced(sentence string, sp *obs.Span) (*Result, error) {
+	if t.resCache == nil {
+		return t.translateUncached(sentence, sp)
+	}
+	key := t.cacheKey(sentence)
+	if res, ok := t.resCache.Get(key); ok {
+		sp.Set("translation_cache", "hit")
+		return res, nil
+	}
+	sp.Set("translation_cache", "miss")
+	res, err := t.translateUncached(sentence, sp)
+	if err == nil {
+		t.resCache.Put(key, res)
+	}
+	return res, err
+}
+
+// translateUncached runs the actual pipeline (see TranslateTraced).
+func (t *Translator) translateUncached(sentence string, sp *obs.Span) (*Result, error) {
 	translationsTotal.Add(1)
 	psp := sp.Start("parse")
 	tree, err := nlp.ParseTraced(sentence, psp)

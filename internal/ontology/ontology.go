@@ -10,12 +10,18 @@ package ontology
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Ontology maps terms to synonym sets. The zero value is not usable;
 // construct with New.
 type Ontology struct {
 	syn map[string]map[string]bool
+
+	// gen counts mutations (AddGroup calls). Cache layers embed it in
+	// their keys so entries computed against an older vocabulary become
+	// unreachable the moment synonyms change.
+	gen atomic.Int64
 }
 
 // New returns an ontology preloaded with a small generic thesaurus
@@ -61,8 +67,15 @@ func NewEmpty() *Ontology {
 	return &Ontology{syn: make(map[string]map[string]bool)}
 }
 
+// Generation reports the mutation count: it increases on every AddGroup
+// call, so two equal generations bracket an unchanged vocabulary.
+func (o *Ontology) Generation() int64 {
+	return o.gen.Load()
+}
+
 // AddGroup records that all the given terms are synonyms of one another.
 func (o *Ontology) AddGroup(terms ...string) {
+	o.gen.Add(1)
 	for _, a := range terms {
 		a = strings.ToLower(a)
 		set := o.syn[a]

@@ -42,6 +42,11 @@ type Response struct {
 	Values []string `json:"values,omitempty"`
 	// Count is len(Results), present even when Results is elided.
 	Count int `json:"count"`
+	// Cache reports how the result cache treated an /ask request: "hit"
+	// (served from cache or coalesced onto an in-flight run) or "miss"
+	// (pipeline ran). Empty when caching is disabled or the endpoint has
+	// no result cache. Also sent as the X-Nalix-Cache header.
+	Cache string `json:"cache,omitempty"`
 	// Trace summarizes the request's pipeline trace; the full span tree
 	// is retrievable from the server via /debug/traces/<request_id>.
 	Trace *TraceSummary `json:"trace,omitempty"`

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nalix"
+	"nalix/internal/obs"
+)
+
+// newCachedServer stands up a one-session server whose engine has the
+// layered cache enabled, following the documented order: registry
+// first, then EnableCache, then corpus load.
+func newCachedServer(t *testing.T) (*httptest.Server, *logBuffer, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	lb := newLogBuffer(t)
+	e := nalix.New()
+	e.SetMetricsRegistry(reg)
+	e.EnableCache(nalix.CacheConfig{})
+	if err := e.LoadXMLString("bib.xml", bibXML(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Engines:   []*nalix.Engine{e},
+		AccessLog: lb,
+		Registry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, lb, reg
+}
+
+// debugCache is the /debug/cache response shape the test consumes.
+type debugCache struct {
+	Enabled    bool               `json:"enabled"`
+	Sessions   int                `json:"sessions"`
+	Total      nalix.CacheStats   `json:"total"`
+	PerSession []nalix.CacheStats `json:"per_session"`
+}
+
+func TestAskCacheHeaderAndDebugEndpoint(t *testing.T) {
+	ts, lb, reg := newCachedServer(t)
+
+	ask := map[string]string{"question": acceptanceQuery}
+	first, firstOut := postJSON(t, ts.URL+"/ask", ask)
+	if got := first.Header.Get("X-Nalix-Cache"); got != "miss" {
+		t.Fatalf("first ask X-Nalix-Cache = %q, want miss", got)
+	}
+	if firstOut.Cache != "miss" {
+		t.Fatalf("first ask response cache = %q, want miss", firstOut.Cache)
+	}
+	second, secondOut := postJSON(t, ts.URL+"/ask", ask)
+	if got := second.Header.Get("X-Nalix-Cache"); got != "hit" {
+		t.Fatalf("second ask X-Nalix-Cache = %q, want hit", got)
+	}
+	if secondOut.Cache != "hit" {
+		t.Fatalf("second ask response cache = %q, want hit", secondOut.Cache)
+	}
+
+	// The served payload must be identical either way.
+	if firstOut.XQuery != secondOut.XQuery {
+		t.Fatalf("cached XQuery diverged: %q vs %q", firstOut.XQuery, secondOut.XQuery)
+	}
+	if strings.Join(firstOut.Results, "\x00") != strings.Join(secondOut.Results, "\x00") {
+		t.Fatal("cached results diverged from the computed ones")
+	}
+	if strings.Join(firstOut.Values, "\x00") != strings.Join(secondOut.Values, "\x00") {
+		t.Fatal("cached values diverged from the computed ones")
+	}
+
+	// Access log carries the cache outcome per request.
+	lines := lb.Lines()
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2", len(lines))
+	}
+	var cacheFields []string
+	for _, line := range lines {
+		var rec AccessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad access record %q: %v", line, err)
+		}
+		cacheFields = append(cacheFields, rec.Cache)
+	}
+	if cacheFields[0] != "miss" || cacheFields[1] != "hit" {
+		t.Fatalf("access-log cache fields = %v, want [miss hit]", cacheFields)
+	}
+
+	// /debug/cache aggregates the pool's layer statistics.
+	status, body := getBody(t, ts.URL+"/debug/cache")
+	if status != 200 {
+		t.Fatalf("/debug/cache status = %d", status)
+	}
+	var dc debugCache
+	if err := json.Unmarshal(body, &dc); err != nil {
+		t.Fatalf("decoding /debug/cache: %v", err)
+	}
+	if !dc.Enabled || dc.Sessions != 1 || len(dc.PerSession) != 1 {
+		t.Fatalf("/debug/cache = %+v, want enabled with one session", dc)
+	}
+	if dc.Total.Result.Hits != 1 || dc.Total.Result.Misses != 1 {
+		t.Fatalf("result layer stats = %+v, want 1 hit 1 miss", dc.Total.Result)
+	}
+	if dc.Total.Translation.Entries == 0 || dc.Total.Plan.Entries != 0 {
+		// /ask fills the translation cache; the plan cache serves /query.
+		t.Fatalf("layer entries: translation=%d plan=%d, want translation>0 plan=0",
+			dc.Total.Translation.Entries, dc.Total.Plan.Entries)
+	}
+
+	// The cache counters land in the server's registry, not the global one.
+	snap := reg.Snapshot()
+	if snap.Counter("cache_result_hits") != 1 {
+		t.Fatalf("registry cache_result_hits = %d, want 1", snap.Counter("cache_result_hits"))
+	}
+	if snap.Counter(obs.Labeled("http_cache", "result", "hit")) != 1 {
+		t.Fatalf("http_cache{result=hit} = %d, want 1",
+			snap.Counter(obs.Labeled("http_cache", "result", "hit")))
+	}
+
+	// /query flows through the plan cache.
+	q := map[string]string{"query": rawXQuery}
+	postJSON(t, ts.URL+"/query", q)
+	postJSON(t, ts.URL+"/query", q)
+	_, body = getBody(t, ts.URL+"/debug/cache")
+	if err := json.Unmarshal(body, &dc); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Total.Plan.Hits != 1 || dc.Total.Plan.Misses != 1 {
+		t.Fatalf("plan layer stats after /query = %+v, want 1 hit 1 miss", dc.Total.Plan)
+	}
+}
+
+func TestAskCacheDisabled(t *testing.T) {
+	_, ts, lb, _ := newTestServer(t, 1, 0)
+	resp, out := postJSON(t, ts.URL+"/ask", map[string]string{"question": acceptanceQuery})
+	if got := resp.Header.Get("X-Nalix-Cache"); got != "" {
+		t.Fatalf("uncached engine sent X-Nalix-Cache %q", got)
+	}
+	if out.Cache != "" {
+		t.Fatalf("uncached engine reported cache %q", out.Cache)
+	}
+	var rec AccessRecord
+	if err := json.Unmarshal([]byte(lb.Lines()[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cache != "" {
+		t.Fatalf("uncached access record carries cache %q", rec.Cache)
+	}
+	status, body := getBody(t, ts.URL+"/debug/cache")
+	if status != 200 {
+		t.Fatalf("/debug/cache status = %d", status)
+	}
+	var dc debugCache
+	if err := json.Unmarshal(body, &dc); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Enabled {
+		t.Fatal("/debug/cache reports enabled on an uncached pool")
+	}
+}

@@ -87,6 +87,7 @@ type AccessRecord struct {
 	Accepted     bool           `json:"accepted"`
 	FeedbackCode string         `json:"feedback_code,omitempty"`
 	Results      int            `json:"results"`
+	Cache        string         `json:"cache,omitempty"`
 	DurationNs   int64          `json:"duration_ns"`
 	Stages       []StageLatency `json:"stages,omitempty"`
 	Slow         bool           `json:"slow,omitempty"`
@@ -110,6 +111,7 @@ type SlowEntry struct {
 // requests) or Close (does not).
 type Server struct {
 	pool     chan *nalix.Engine
+	engines  []*nalix.Engine // all sessions, for stats aggregation
 	sessions int
 	reg      *obs.Registry
 	slowAt   time.Duration
@@ -157,6 +159,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		pool:     make(chan *nalix.Engine, len(cfg.Engines)),
+		engines:  append([]*nalix.Engine(nil), cfg.Engines...),
 		sessions: len(cfg.Engines),
 		reg:      reg,
 		slowAt:   slowAt,
@@ -181,7 +184,14 @@ func (s *Server) routes() {
 		if err != nil {
 			return nil, nil, err
 		}
-		return FromAnswer("ask", req.Document, req.Question, ans), ans.Trace, nil
+		resp := FromAnswer("ask", req.Document, req.Question, ans)
+		if eng.CacheEnabled() {
+			resp.Cache = "miss"
+			if ans.Cached {
+				resp.Cache = "hit"
+			}
+		}
+		return resp, ans.Trace, nil
 	}))
 	s.mux.HandleFunc("POST /translate", s.api("translate", func(eng *nalix.Engine, req *Request) (*Response, *nalix.Trace, error) {
 		ans, err := eng.TranslateTraced(req.Document, req.Question)
@@ -211,6 +221,7 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/cache", s.handleCache)
 	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
 
@@ -303,6 +314,10 @@ func (s *Server) api(endpoint string, run func(*nalix.Engine, *Request) (*Respon
 			return
 		}
 		resp.RequestID = id
+		if resp.Cache != "" {
+			w.Header().Set("X-Nalix-Cache", resp.Cache)
+			s.reg.Add(obs.Labeled("http_cache", "result", resp.Cache), 1)
+		}
 
 		slow := s.slowAt > 0 && dur >= s.slowAt
 		s.store.add(&traceEntry{
@@ -319,6 +334,7 @@ func (s *Server) api(endpoint string, run func(*nalix.Engine, *Request) (*Respon
 		rec.Accepted = resp.Accepted
 		rec.FeedbackCode = resp.FeedbackCode
 		rec.Results = resp.Count
+		rec.Cache = resp.Cache
 		rec.Slow = slow
 		if resp.Trace != nil {
 			rec.Stages = resp.Trace.Stages
@@ -423,6 +439,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(b); err != nil {
 		return
 	}
+}
+
+// handleCache serves the cache telemetry of the engine pool: per-session
+// layer statistics (each session owns its caches) plus their sum. Stats
+// are atomic snapshots, safe to read while sessions serve queries.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Enabled  bool               `json:"enabled"`
+		Sessions int                `json:"sessions"`
+		Total    nalix.CacheStats   `json:"total"`
+		Detail   []nalix.CacheStats `json:"per_session,omitempty"`
+	}{Sessions: s.sessions}
+	for _, eng := range s.engines {
+		st := eng.CacheStats()
+		if !st.Enabled {
+			continue
+		}
+		out.Enabled = true
+		out.Detail = append(out.Detail, st)
+		mergeLayer(&out.Total.Translation, st.Translation)
+		mergeLayer(&out.Total.Plan, st.Plan)
+		mergeLayer(&out.Total.Result, st.Result)
+		out.Total.Singleflight.Execs += st.Singleflight.Execs
+		out.Total.Singleflight.Shared += st.Singleflight.Shared
+	}
+	out.Total.Enabled = out.Enabled
+	writeJSON(w, http.StatusOK, out)
+}
+
+// mergeLayer accumulates one session's layer statistics into a total.
+func mergeLayer(total *nalix.CacheLayerStats, st nalix.CacheLayerStats) {
+	total.Name = st.Name
+	total.Hits += st.Hits
+	total.Misses += st.Misses
+	total.Evictions += st.Evictions
+	total.Expirations += st.Expirations
+	total.Entries += st.Entries
+	total.Bytes += st.Bytes
+	total.MaxBytes += st.MaxBytes
 }
 
 // handleSlow serves the slow-query ring, oldest first.

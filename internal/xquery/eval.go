@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"nalix/internal/cache"
 	"nalix/internal/fulltext"
 	"nalix/internal/mqf"
 	"nalix/internal/obs"
@@ -41,6 +42,12 @@ type Engine struct {
 	DisablePlanner bool
 
 	steps int
+
+	// planCache, when set via SetPlanCache, memoizes Compile results by
+	// query text. Sound without any invalidation: an Expr is a pure
+	// function of the text (documents are resolved at evaluation time)
+	// and evaluation never mutates the AST.
+	planCache *cache.Cache[string, Expr]
 
 	// evalMu serializes evaluations (see the type comment). It guards
 	// nothing lexically: every field access happens inside evalOne and
@@ -88,10 +95,34 @@ func (e *Engine) DefaultDocument() *xmldb.Document {
 	return d
 }
 
+// SetPlanCache installs a compiled-plan cache: Compile (and so Query)
+// then memoizes parsed ASTs by query text. This is configuration: call
+// it before evaluating concurrently.
+func (e *Engine) SetPlanCache(c *cache.Cache[string, Expr]) {
+	e.planCache = c
+}
+
+// Compile parses an XQuery string into its AST, consulting the plan
+// cache when one is installed. Parse errors are not cached.
+func (e *Engine) Compile(src string) (Expr, error) {
+	if e.planCache == nil {
+		return Parse(src)
+	}
+	if expr, ok := e.planCache.Get(src); ok {
+		return expr, nil
+	}
+	expr, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.planCache.Put(src, expr)
+	return expr, nil
+}
+
 // Query parses and evaluates an XQuery string, returning the result
 // sequence.
 func (e *Engine) Query(src string) (Sequence, error) {
-	expr, err := Parse(src)
+	expr, err := e.Compile(src)
 	if err != nil {
 		return nil, err
 	}

@@ -28,7 +28,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"nalix/internal/cache"
 	"nalix/internal/core"
 	"nalix/internal/keyword"
 	"nalix/internal/obs"
@@ -60,6 +62,17 @@ type Engine struct {
 	// reg receives per-stage latency histograms from finished traces;
 	// nil means the process-wide obs.Default registry.
 	reg *obs.Registry
+
+	// The three cache layers plus the cold-ask singleflight group, all
+	// nil until EnableCache (see cache.go).
+	transCache  *cache.Cache[string, *core.Result]
+	planCache   *cache.Cache[string, xquery.Expr]
+	resultCache *cache.Cache[string, *Answer]
+	flight      *cache.Flight[*Answer]
+
+	// corpusGen counts document mutations; result-cache keys embed it
+	// so no entry can outlive the corpus it was computed against.
+	corpusGen atomic.Int64
 }
 
 // DefaultTraceCapacity is how many finished traces the engine retains
@@ -174,8 +187,13 @@ func (e *Engine) LoadXMLString(name, xml string) error {
 }
 
 func (e *Engine) addDoc(doc *xmldb.Document) {
+	e.corpusGen.Add(1)
 	e.xq.AddDocument(doc)
-	e.translators[doc.Name] = core.NewTranslator(doc, e.ont)
+	tr := core.NewTranslator(doc, e.ont)
+	if e.transCache != nil {
+		tr.SetCache(e.transCache)
+	}
+	e.translators[doc.Name] = tr
 	e.keywords[doc.Name] = keyword.NewEngine(doc)
 	if e.defName == "" {
 		e.defName = doc.Name
@@ -264,6 +282,11 @@ type Answer struct {
 	// tree of pipeline stages plus per-call counters. It is nil unless
 	// tracing was enabled with Engine.EnableTracing.
 	Trace *Trace
+	// Cached is true when the answer came from the result cache (or was
+	// coalesced onto another goroutine's in-flight run) instead of a
+	// pipeline execution. Cached answers share slices with the cache:
+	// treat them as read-only.
+	Cached bool
 }
 
 // Binding is one row of the variable-binding table.
@@ -360,6 +383,40 @@ func (e *Engine) AskTraced(docName, english string) (*Answer, error) {
 
 func (e *Engine) askWith(docName, english string, t *obs.Trace) (*Answer, error) {
 	queriesTotal.Add(1)
+	if e.resultCache == nil {
+		return e.askUncached(docName, english, t)
+	}
+	key := e.resultKey(docName, english)
+	if stored, ok := e.resultCache.Get(key); ok {
+		return e.serveCached(stored, t, "hit"), nil
+	}
+	t.Root().Set("result_cache", "miss")
+	// Each caller passes its own closure, so the leader's trace records
+	// the full pipeline; followers coalesce and finish their traces as
+	// cached serves.
+	ans, shared, err := e.flight.Do(key, func() (*Answer, error) {
+		a, err := e.askUncached(docName, english, t)
+		if err != nil {
+			return nil, err
+		}
+		stored := *a
+		stored.Trace = nil
+		e.resultCache.Put(key, &stored)
+		return a, nil
+	})
+	if shared {
+		if err != nil {
+			e.failTrace(t, err)
+			return nil, err
+		}
+		return e.serveCached(ans, t, "coalesced"), nil
+	}
+	return ans, err
+}
+
+// askUncached runs the full ask pipeline: translate, evaluate,
+// serialize.
+func (e *Engine) askUncached(docName, english string, t *obs.Trace) (*Answer, error) {
 	root := t.Root()
 	res, ans, err := e.translate(docName, english, root)
 	if err != nil {
@@ -416,7 +473,7 @@ func (e *Engine) QueryTraced(xq string) (*Answer, error) {
 func (e *Engine) queryWith(xq string, t *obs.Trace) (*Answer, error) {
 	root := t.Root()
 	psp := root.Start("parse")
-	expr, err := xquery.Parse(xq)
+	expr, err := e.xq.Compile(xq)
 	psp.End()
 	if err != nil {
 		e.failTrace(t, err)

@@ -17,7 +17,10 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # BENCH_*.json baselines at real iteration counts and fail if any
 # guarded ns/op regresses past 1.5x its baseline. benchguard takes the
 # min across -count repetitions, so short runs stay noise-tolerant.
+# BenchmarkAskCached doubles as the cache smoke: its hit/miss baselines
+# (BENCH_cache.json) keep the cached path an order of magnitude faster
+# than a cold ask.
 BENCHOUT="$(mktemp)"
-go test -run '^$' -bench 'BenchmarkAsk$|BenchmarkEvalStage$' -benchtime 100x -count 5 . >"$BENCHOUT"
+go test -run '^$' -bench 'BenchmarkAsk$|BenchmarkAskCached$|BenchmarkEvalStage$' -benchtime 100x -count 5 . >"$BENCHOUT"
 go run ./cmd/benchguard "$BENCHOUT"
 rm -f "$BENCHOUT"
