@@ -7,20 +7,36 @@
 // Patterns follow the go tool's convention: a trailing "..." walks
 // directories; bare arguments name single package directories. With no
 // arguments it lints "./...".
+//
+// Findings known and accepted live in lint-baseline.json at the module
+// root (override with -baseline): a finding matching a baseline entry
+// is reported but does not fail the run, and baseline entries nothing
+// matches are reported as stale so the file only shrinks. -update-baseline
+// rewrites the file from the current findings; -json emits the machine-
+// readable form CI archives; -timing prints per-pass wall-clock totals.
+//
+// Exit codes: 0 clean (or fully baselined), 1 fresh findings, 2 usage
+// or driver errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nalix/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list registered passes and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	baselinePath := flag.String("baseline", "lint-baseline.json", "baseline file of accepted findings (missing file = empty)")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline from the current findings and exit 0")
+	timing := flag.Bool("timing", false, "print per-pass wall-clock totals to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nalixlint [-list] [packages]\n\npasses:\n")
+		fmt.Fprintf(os.Stderr, "usage: nalixlint [-list] [-json] [-timing] [-baseline file] [-update-baseline] [packages]\n\npasses:\n")
 		for _, p := range analysis.Passes() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", p.Name, p.Doc)
 		}
@@ -49,19 +65,76 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings := 0
+
+	var diags []analysis.Diagnostic
+	totals := map[string]time.Duration{}
+	var passOrder []string
 	for _, dir := range dirs {
 		unit, err := loader.LoadDir(dir)
 		if err != nil {
 			fatal(fmt.Errorf("loading %s: %w", dir, err))
 		}
-		for _, d := range analysis.RunAll(unit) {
-			fmt.Println(d)
-			findings++
+		ds, timings := analysis.RunAllTimed(unit)
+		diags = append(diags, ds...)
+		for _, pt := range timings {
+			if _, seen := totals[pt.Name]; !seen {
+				passOrder = append(passOrder, pt.Name)
+			}
+			totals[pt.Name] += pt.Duration
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "nalixlint: %d finding(s)\n", findings)
+	if *timing {
+		for _, name := range passOrder {
+			fmt.Fprintf(os.Stderr, "nalixlint: %-12s %v\n", name, totals[name])
+		}
+	}
+
+	rel := analysis.RelPather(loader.ModuleRoot)
+	if *updateBaseline {
+		if err := analysis.WriteBaseline(*baselinePath, diags, rel); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "nalixlint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return
+	}
+	base, err := analysis.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, baselined, stale := base.Split(diags, rel)
+
+	if *jsonOut {
+		out := struct {
+			Findings  []analysis.Finding `json:"findings"`
+			Count     int                `json:"count"`
+			Baselined int                `json:"baselined"`
+			Stale     []analysis.Finding `json:"stale,omitempty"`
+		}{Findings: []analysis.Finding{}, Count: len(fresh), Baselined: len(baselined)}
+		for _, d := range fresh {
+			out.Findings = append(out.Findings, analysis.Finding{
+				Pass: d.Pass, File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column, Message: d.Message,
+			})
+		}
+		out.Stale = stale
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Println(d)
+		}
+		for _, d := range baselined {
+			fmt.Printf("%s (baselined)\n", d)
+		}
+		for _, f := range stale {
+			fmt.Fprintf(os.Stderr, "nalixlint: stale baseline entry %s: [%s] %s (remove it from %s)\n",
+				f.File, f.Pass, f.Message, *baselinePath)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "nalixlint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
 	}
 }

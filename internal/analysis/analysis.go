@@ -15,6 +15,24 @@
 //   - errdrop: no error value may be discarded with a blank identifier
 //     (or as an ignored single-error call result) outside tests.
 //
+// PRs 2–4 grew the repo into a concurrent cached HTTP service, and the
+// second generation of passes encodes the invariants of that layer:
+//
+//   - atomicmix: a variable accessed through sync/atomic anywhere must
+//     be accessed atomically everywhere — mixed plain/atomic access is
+//     a data race the race detector only sees if a test happens to hit
+//     the interleaving.
+//   - lockorder: the per-package lock-acquisition graph (who takes
+//     which mutex while holding which) must be acyclic, or two
+//     goroutines can deadlock by acquiring the same locks in opposite
+//     orders.
+//   - spanbalance: every obs span obtained from Start must reach End on
+//     every return path (via defer or a post-dominating call), so error
+//     paths cannot leak open spans from the bounded trace arena.
+//   - genkey: cache keys built for internal/cache Get/Put must embed a
+//     generation marker (ontology/corpus generation), encoding the
+//     query cache's staleness contract as a compile-time check.
+//
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/types); there are no third-party analyzer dependencies. The
 // cmd/nalixlint driver loads the module, runs every pass, and exits
@@ -28,6 +46,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding reported by a pass.
@@ -35,6 +54,16 @@ type Diagnostic struct {
 	Pass    string
 	Pos     token.Position
 	Message string
+}
+
+// Finding is the machine-readable form of a Diagnostic — the shape the
+// driver's -json output and the baseline file share.
+type Finding struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -63,17 +92,35 @@ type Unit struct {
 
 // Passes returns every registered pass, in stable order.
 func Passes() []*Pass {
-	return []*Pass{MapOrder, Exhaustive, LockCheck, ErrDrop}
+	return []*Pass{MapOrder, Exhaustive, LockCheck, ErrDrop, AtomicMix, LockOrder, SpanBalance, GenKey}
+}
+
+// PassTiming is one pass's cumulative wall-clock time over a unit.
+type PassTiming struct {
+	Name     string
+	Duration time.Duration
 }
 
 // RunAll runs every pass over the unit and returns the surviving
-// diagnostics sorted by position. Findings on lines carrying a
-// `//nalixlint:ignore <pass>` comment are suppressed — the escape hatch
-// for the rare loop or switch whose safety the analyzers cannot see.
+// diagnostics sorted by position. Findings inside the statement covered
+// by a `//nalixlint:ignore <pass> <reason>` comment are suppressed — the
+// escape hatch for the rare construct whose safety the analyzers cannot
+// see. A directive without a reason suppresses nothing and is itself a
+// finding (pass "ignore").
 func RunAll(u *Unit) []Diagnostic {
+	diags, _ := RunAllTimed(u)
+	return diags
+}
+
+// RunAllTimed is RunAll plus per-pass wall-clock timings, in pass
+// registration order.
+func RunAllTimed(u *Unit) ([]Diagnostic, []PassTiming) {
 	var diags []Diagnostic
+	timings := make([]PassTiming, 0, len(Passes()))
 	for _, p := range Passes() {
+		start := time.Now()
 		diags = append(diags, p.Run(u)...)
+		timings = append(timings, PassTiming{Name: p.Name, Duration: time.Since(start)})
 	}
 	diags = filterIgnored(u, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -86,33 +133,105 @@ func RunAll(u *Unit) []Diagnostic {
 		}
 		return a.Pass < b.Pass
 	})
-	return diags
+	return diags, timings
 }
 
-// filterIgnored drops diagnostics whose line (or the line above) has an
-// ignore directive naming the pass.
+// directive is one parsed nalixlint:ignore comment.
+type directive struct {
+	pos    token.Position
+	passes []string
+	reason string
+}
+
+// parseDirectives collects the ignore directives of one file.
+func parseDirectives(u *Unit, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "nalixlint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := directive{pos: u.Fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				d.passes = strings.Split(fields[0], ",")
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// lineRange is an inclusive span of source lines.
+type lineRange struct{ from, to int }
+
+// stmtRanges collects the line range of every statement and declaration
+// in a file, so a directive can be attached to the whole multi-line
+// construct it precedes rather than a single source line.
+func stmtRanges(u *Unit, f *ast.File) []lineRange {
+	var out []lineRange
+	add := func(n ast.Node) {
+		out = append(out, lineRange{
+			from: u.Fset.Position(n.Pos()).Line,
+			to:   u.Fset.Position(n.End()).Line,
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			add(n)
+		}
+		return true
+	})
+	return out
+}
+
+// filterIgnored drops diagnostics covered by a reasoned ignore directive
+// naming the pass, and turns reasonless directives into findings. A
+// directive covers its own line, the next line, and the full line range
+// of every statement that starts on either — so a directive above a
+// multi-line statement suppresses findings anchored anywhere inside it.
 func filterIgnored(u *Unit, diags []Diagnostic) []Diagnostic {
 	// byPass maps "file\x00pass" to the set of suppressed lines.
 	byPass := map[string]map[int]bool{}
+	var bare []Diagnostic
 	for _, f := range u.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "nalixlint:ignore") {
-					continue
-				}
-				rest := strings.Fields(strings.TrimPrefix(text, "nalixlint:ignore"))
-				pos := u.Fset.Position(c.Pos())
-				for _, name := range rest {
-					key := pos.Filename + "\x00" + name
-					if byPass[key] == nil {
-						byPass[key] = map[int]bool{}
+		dirs := parseDirectives(u, f)
+		if len(dirs) == 0 {
+			continue
+		}
+		ranges := stmtRanges(u, f)
+		for _, d := range dirs {
+			if len(d.passes) == 0 || d.reason == "" {
+				bare = append(bare, Diagnostic{
+					Pass:    "ignore",
+					Pos:     d.pos,
+					Message: "nalixlint:ignore directive needs a reason: //nalixlint:ignore <pass>[,<pass>] <why this is safe>; a reasonless directive suppresses nothing",
+				})
+				continue
+			}
+			lines := map[int]bool{d.pos.Line: true, d.pos.Line + 1: true}
+			for _, r := range ranges {
+				// Statements starting on the directive's line or the
+				// next (directive above, or trailing on the first line)
+				// are covered end to end.
+				if r.from == d.pos.Line || r.from == d.pos.Line+1 {
+					for l := r.from; l <= r.to; l++ {
+						lines[l] = true
 					}
-					// The directive covers its own line and the next,
-					// so it can sit above the flagged statement.
-					byPass[key][pos.Line] = true
-					byPass[key][pos.Line+1] = true
+				}
+			}
+			for _, name := range d.passes {
+				key := d.pos.Filename + "\x00" + name
+				if byPass[key] == nil {
+					byPass[key] = map[int]bool{}
+				}
+				for l := range lines {
+					byPass[key][l] = true
 				}
 			}
 		}
@@ -125,7 +244,7 @@ func filterIgnored(u *Unit, diags []Diagnostic) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	return out
+	return append(out, bare...)
 }
 
 // typeIsMap reports whether t's core type is a map.

@@ -11,10 +11,11 @@ import (
 	"testing"
 )
 
-// wantRe matches the fixture expectation markers: "// want <pass>" at
-// the end of a line that must produce exactly one diagnostic of that
-// pass.
-var wantRe = regexp.MustCompile(`// want ([a-z]+)\s*$`)
+// wantRe matches the fixture expectation markers: `// want <pass>` or
+// `// want <pass> "<message regexp>"` at the end of a line that must
+// produce exactly one diagnostic of that pass (whose message, when the
+// quoted form is used, must match the regexp).
+var wantRe = regexp.MustCompile(`// want ([a-z]+)(?: "([^"]*)")?\s*$`)
 
 // loadFixture type-checks one testdata package and returns its unit.
 func loadFixture(t *testing.T, name string) *Unit {
@@ -32,10 +33,11 @@ func loadFixture(t *testing.T, name string) *Unit {
 }
 
 // wantMarkers scans fixture sources for expectation markers, keyed
-// "file:line:pass".
-func wantMarkers(t *testing.T, dir string) map[string]bool {
+// "file:line:pass"; the value is the message regexp ("" when the bare
+// form was used).
+func wantMarkers(t *testing.T, dir string) map[string]string {
 	t.Helper()
-	want := map[string]bool{}
+	want := map[string]string{}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +54,7 @@ func wantMarkers(t *testing.T, dir string) map[string]bool {
 		sc := bufio.NewScanner(f)
 		for line := 1; sc.Scan(); line++ {
 			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
-				want[fmt.Sprintf("%s:%d:%s", e.Name(), line, m[1])] = true
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), line, m[1])] = m[2]
 			}
 		}
 		if err := sc.Err(); err != nil {
@@ -66,18 +68,19 @@ func wantMarkers(t *testing.T, dir string) map[string]bool {
 }
 
 // checkFixture runs all passes over a fixture and compares the
-// diagnostics against the want markers, both ways.
+// diagnostics against the want markers, both ways; quoted markers also
+// match the diagnostic message against their regexp.
 func checkFixture(t *testing.T, name string) []Diagnostic {
 	t.Helper()
 	u := loadFixture(t, name)
 	diags := RunAll(u)
-	got := map[string]bool{}
+	got := map[string]string{}
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pass)
-		if got[key] {
+		if _, dup := got[key]; dup {
 			t.Errorf("duplicate diagnostic %s: %s", key, d.Message)
 		}
-		got[key] = true
+		got[key] = d.Message
 	}
 	want := wantMarkers(t, filepath.Join("testdata", "src", name))
 	var keys []string
@@ -94,20 +97,95 @@ func checkFixture(t *testing.T, name string) []Diagnostic {
 			continue
 		}
 		seen[k] = true
+		msg, gotOne := got[k]
+		re, wantOne := want[k]
 		switch {
-		case got[k] && !want[k]:
-			t.Errorf("unexpected diagnostic at %s", k)
-		case !got[k] && want[k]:
+		case gotOne && !wantOne:
+			t.Errorf("unexpected diagnostic at %s: %s", k, msg)
+		case !gotOne && wantOne:
 			t.Errorf("missing diagnostic at %s", k)
+		case gotOne && wantOne && re != "":
+			ok, err := regexp.MatchString(re, msg)
+			if err != nil {
+				t.Errorf("bad want regexp at %s: %v", k, err)
+			} else if !ok {
+				t.Errorf("diagnostic at %s does not match %q: %s", k, re, msg)
+			}
 		}
 	}
 	return diags
 }
 
-func TestMapOrderFixture(t *testing.T)   { checkFixture(t, "maporder") }
-func TestExhaustiveFixture(t *testing.T) { checkFixture(t, "exhaustive") }
-func TestLockCheckFixture(t *testing.T)  { checkFixture(t, "lockcheck") }
-func TestErrDropFixture(t *testing.T)    { checkFixture(t, "errdrop") }
+func TestMapOrderFixture(t *testing.T)    { checkFixture(t, "maporder") }
+func TestExhaustiveFixture(t *testing.T)  { checkFixture(t, "exhaustive") }
+func TestLockCheckFixture(t *testing.T)   { checkFixture(t, "lockcheck") }
+func TestErrDropFixture(t *testing.T)     { checkFixture(t, "errdrop") }
+func TestAtomicMixFixture(t *testing.T)   { checkFixture(t, "atomicmix") }
+func TestLockOrderFixture(t *testing.T)   { checkFixture(t, "lockorder") }
+func TestSpanBalanceFixture(t *testing.T) { checkFixture(t, "spanbalance") }
+func TestGenKeyFixture(t *testing.T)      { checkFixture(t, "genkey") }
+
+// TestSuppressRangeFixture is the regression fixture for the directive
+// attachment rule: a directive must cover the full line range of the
+// statement it precedes (the multi-line map-range case) and nothing
+// past a blank line.
+func TestSuppressRangeFixture(t *testing.T) { checkFixture(t, "suppressrange") }
+
+// TestIgnoreReasonFixture pins the reasoned-ignore rule without want
+// markers (a marker appended to a directive line would parse as its
+// reason): the bare directive surfaces as an "ignore" finding and
+// suppresses nothing, while the reasoned twin suppresses its errdrop.
+func TestIgnoreReasonFixture(t *testing.T) {
+	u := loadFixture(t, "ignorereason")
+	diags := RunAll(u)
+	var ignores, errdrops []Diagnostic
+	for _, d := range diags {
+		switch d.Pass {
+		case "ignore":
+			ignores = append(ignores, d)
+		case "errdrop":
+			errdrops = append(errdrops, d)
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if len(ignores) != 1 {
+		t.Fatalf("got %d ignore findings, want exactly 1 (the bare directive): %v", len(ignores), ignores)
+	}
+	if len(errdrops) != 1 {
+		t.Fatalf("got %d errdrop findings, want exactly 1 (the reasoned directive suppresses the other): %v", len(errdrops), errdrops)
+	}
+	if !strings.Contains(ignores[0].Message, "needs a reason") {
+		t.Errorf("ignore finding does not explain itself: %s", ignores[0].Message)
+	}
+	if errdrops[0].Pos.Line != ignores[0].Pos.Line+1 {
+		t.Errorf("the surviving errdrop (line %d) is not the one under the bare directive (line %d)",
+			errdrops[0].Pos.Line, ignores[0].Pos.Line)
+	}
+}
+
+// TestRunAllTimed checks the driver's timing surface: one entry per
+// registered pass, in registration order, with the same diagnostics
+// RunAll returns.
+func TestRunAllTimed(t *testing.T) {
+	u := loadFixture(t, "maporder")
+	diags, timings := RunAllTimed(u)
+	passes := Passes()
+	if len(timings) != len(passes) {
+		t.Fatalf("got %d timings, want %d", len(timings), len(passes))
+	}
+	for i, p := range passes {
+		if timings[i].Name != p.Name {
+			t.Errorf("timing %d is %q, want %q", i, timings[i].Name, p.Name)
+		}
+		if timings[i].Duration < 0 {
+			t.Errorf("pass %s has negative duration %v", p.Name, timings[i].Duration)
+		}
+	}
+	if len(diags) != len(RunAll(u)) {
+		t.Error("RunAllTimed and RunAll disagree on diagnostics")
+	}
+}
 
 // TestTranslateLikePatternExitsNonzero pins the acceptance criterion:
 // the fixture reproducing translate.go's old unsorted map-range (an

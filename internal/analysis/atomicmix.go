@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags mixed atomic and plain access to the same variable: a
+// struct field or package-level variable whose address is passed to a
+// sync/atomic function anywhere in the package must be accessed through
+// sync/atomic everywhere. A plain read or write racing with atomic
+// updates is a data race the race detector only reports if a test
+// happens to hit the interleaving; this pass finds it statically.
+//
+// Fields of the modern atomic.Int64/Uint32/... wrapper types are immune
+// by construction (their counters cannot be touched without the
+// methods), which is why internal/obs and internal/cache use them; the
+// pass exists to stop the legacy addressed-integer style from creeping
+// back in half-converted.
+var AtomicMix = &Pass{
+	Name: "atomicmix",
+	Doc:  "flag plain access to variables that are accessed atomically elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(u *Unit) []Diagnostic {
+	// First walk: every &x handed to a sync/atomic call marks x's
+	// object as atomically accessed; the argument's source extent is
+	// remembered so the second walk can skip the atomic sites
+	// themselves.
+	atomicObjs := map[types.Object]bool{}
+	type extent struct{ from, to token.Pos }
+	var atomicArgs []extent
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(u, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(u, un.X); obj != nil {
+					atomicObjs[obj] = true
+					atomicArgs = append(atomicArgs, extent{un.Pos(), un.End()})
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, e := range atomicArgs {
+			if pos >= e.from && pos < e.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second walk: any other use of those objects is a plain access.
+	// Composite-literal keys are exempt — initializing a field before
+	// the value is shared is not the race this pass hunts.
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		litKeys := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				for _, el := range cl.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							litKeys[id] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || litKeys[id] {
+				return true
+			}
+			obj := u.Info.Uses[id]
+			if obj == nil || !atomicObjs[obj] || inAtomicArg(id.Pos()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pass:    "atomicmix",
+				Pos:     u.Fset.Position(id.Pos()),
+				Message: obj.Name() + " is accessed via sync/atomic elsewhere in this package; this plain access races with those atomics — use the atomic API here too (or an atomic.Int64-style typed field)",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// isAtomicCall reports whether a call targets a function of the
+// sync/atomic package (the addressed-value API: AddInt64, LoadUint32,
+// CompareAndSwapPointer, ...).
+func isAtomicCall(u *Unit, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := u.Info.Uses[pkgID].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr's base object when expr is a struct
+// field selector or a package-level variable; local variables are
+// skipped (they cannot be shared across the package without escaping
+// through one of the tracked forms).
+func addressedObject(u *Unit, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := u.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	case *ast.Ident:
+		if v, ok := u.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.IndexExpr:
+		return addressedObject(u, x.X)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed set of known-accepted findings
+// (lint-baseline.json at the module root). It lets a new pass land with
+// its existing findings recorded instead of blocking the gate, and be
+// burned down finding by finding: a diagnostic matching a baseline entry
+// is reported as baselined (not a failure), and entries that no longer
+// match anything are reported as stale so the file shrinks monotonically.
+//
+// Entries match on pass, module-relative file path, and message — not on
+// line numbers, which drift with every edit.
+type Baseline struct {
+	Findings []Finding `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// baselineKey is the identity a finding matches a baseline entry on.
+func baselineKey(pass, file, message string) string {
+	return pass + "\x00" + file + "\x00" + message
+}
+
+// Split partitions diagnostics into new findings and baselined ones,
+// and reports the baseline entries nothing matched (stale — delete
+// them). rel maps a diagnostic's absolute filename to the
+// module-relative slash path the baseline stores.
+func (b *Baseline) Split(diags []Diagnostic, rel func(string) string) (fresh, baselined []Diagnostic, stale []Finding) {
+	known := map[string]bool{}
+	for _, f := range b.Findings {
+		known[baselineKey(f.Pass, f.File, f.Message)] = true
+	}
+	matched := map[string]bool{}
+	for _, d := range diags {
+		key := baselineKey(d.Pass, rel(d.Pos.Filename), d.Message)
+		if known[key] {
+			matched[key] = true
+			baselined = append(baselined, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, f := range b.Findings {
+		if !matched[baselineKey(f.Pass, f.File, f.Message)] {
+			stale = append(stale, f)
+		}
+	}
+	return fresh, baselined, stale
+}
+
+// WriteBaseline writes the diagnostics as a baseline file, sorted and
+// deduplicated, with line/col omitted (they are not part of the match).
+func WriteBaseline(path string, diags []Diagnostic, rel func(string) string) error {
+	b := Baseline{Findings: []Finding{}}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		f := Finding{Pass: d.Pass, File: rel(d.Pos.Filename), Message: d.Message}
+		key := baselineKey(f.Pass, f.File, f.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.Findings = append(b.Findings, f)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Pass != c.Pass {
+			return a.Pass < c.Pass
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RelPather returns a function mapping absolute filenames under root to
+// slash-separated root-relative paths (absolute paths outside root pass
+// through unchanged).
+func RelPather(root string) func(string) string {
+	return func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !filepath.IsAbs(r) && r != ".." && !hasDotDotPrefix(r) {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(name)
+	}
+}
+
+func hasDotDotPrefix(p string) bool {
+	return len(p) >= 3 && p[:3] == ".."+string(filepath.Separator)
+}

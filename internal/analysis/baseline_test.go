@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diag(pass, file string, line int, msg string) Diagnostic {
+	return Diagnostic{Pass: pass, Pos: token.Position{Filename: file, Line: line, Column: 1}, Message: msg}
+}
+
+// TestBaselineSplit partitions diagnostics into fresh and baselined and
+// reports unmatched entries as stale — the burn-down contract.
+func TestBaselineSplit(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod")
+	rel := RelPather(root)
+	b := &Baseline{Findings: []Finding{
+		{Pass: "genkey", File: "internal/xquery/eval.go", Message: "old accepted finding"},
+		{Pass: "errdrop", File: "gone.go", Message: "fixed long ago"},
+	}}
+	diags := []Diagnostic{
+		diag("genkey", filepath.Join(root, "internal", "xquery", "eval.go"), 10, "old accepted finding"),
+		diag("maporder", filepath.Join(root, "translate.go"), 5, "brand new"),
+	}
+	fresh, baselined, stale := b.Split(diags, rel)
+	if len(fresh) != 1 || fresh[0].Pass != "maporder" {
+		t.Errorf("fresh = %v, want the maporder finding only", fresh)
+	}
+	if len(baselined) != 1 || baselined[0].Pass != "genkey" {
+		t.Errorf("baselined = %v, want the genkey finding only", baselined)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" {
+		t.Errorf("stale = %v, want the gone.go entry only", stale)
+	}
+}
+
+// TestBaselineMatchIgnoresLine pins that entries match on
+// (pass, file, message), not line numbers, which drift with every edit.
+func TestBaselineMatchIgnoresLine(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	rel := RelPather(root)
+	b := &Baseline{Findings: []Finding{
+		{Pass: "errdrop", File: "a.go", Line: 3, Message: "dropped"},
+	}}
+	fresh, baselined, stale := b.Split([]Diagnostic{
+		diag("errdrop", filepath.Join(root, "a.go"), 99, "dropped"),
+	}, rel)
+	if len(fresh) != 0 || len(baselined) != 1 || len(stale) != 0 {
+		t.Errorf("line drift broke the match: fresh=%v baselined=%v stale=%v", fresh, baselined, stale)
+	}
+}
+
+// TestBaselineWriteLoadRoundTrip writes a baseline and loads it back:
+// sorted, deduplicated, no line/col, and a missing file loads empty.
+func TestBaselineWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint-baseline.json")
+	root := string(filepath.Separator) + "mod"
+	rel := RelPather(root)
+	diags := []Diagnostic{
+		diag("genkey", filepath.Join(root, "b.go"), 2, "msg b"),
+		diag("genkey", filepath.Join(root, "a.go"), 7, "msg a"),
+		diag("genkey", filepath.Join(root, "a.go"), 8, "msg a"), // dup modulo line
+	}
+	if err := WriteBaseline(path, diags, rel); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d findings after dedup, want 2: %v", len(b.Findings), b.Findings)
+	}
+	if b.Findings[0].File != "a.go" || b.Findings[1].File != "b.go" {
+		t.Errorf("findings not sorted by file: %v", b.Findings)
+	}
+	if b.Findings[0].Line != 0 || b.Findings[0].Col != 0 {
+		t.Errorf("line/col leaked into the baseline: %+v", b.Findings[0])
+	}
+
+	missing, err := LoadBaseline(filepath.Join(dir, "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline must load empty, got error: %v", err)
+	}
+	if len(missing.Findings) != 0 {
+		t.Errorf("missing baseline not empty: %v", missing.Findings)
+	}
+
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("corrupt baseline loaded without error")
+	}
+}
+
+// TestRelPather maps absolute module files to slash-relative paths and
+// passes foreign paths through.
+func TestRelPather(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("home", "mod")
+	rel := RelPather(root)
+	if got := rel(filepath.Join(root, "internal", "cache", "cache.go")); got != "internal/cache/cache.go" {
+		t.Errorf("rel inside root = %q", got)
+	}
+	foreign := string(filepath.Separator) + filepath.Join("usr", "lib", "x.go")
+	if got := rel(foreign); got != filepath.ToSlash(foreign) {
+		t.Errorf("rel outside root = %q, want pass-through", got)
+	}
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GenKey encodes the query cache's staleness contract (DESIGN.md §11)
+// as a compile-time check: the layered caches are never swept — an
+// entry computed against old state must instead become unreachable
+// because its key embeds a generation counter the mutation bumped
+// (ontology generation, corpus generation, translator identity). A
+// Get/Put key built without any generation marker keeps serving stale
+// entries after every reload and synonym change.
+//
+// Mechanically: for every call to Get or Put on a value of a named
+// `Cache` type (internal/cache.Cache), the key argument's construction
+// must mention a generation source — a call to a method named
+// Generation, or an identifier/field whose name contains "gen"
+// (corpusGen, genKey, ...). The search follows local variables to
+// their defining assignment and same-package key-builder functions up
+// to three calls deep.
+//
+// Layers whose entries are pure functions of the key text (the
+// compiled-plan cache) are exempt by a reasoned
+// `//nalixlint:ignore genkey <why>` at the call site.
+var GenKey = &Pass{
+	Name: "genkey",
+	Doc:  "flag cache Get/Put keys that embed no generation marker",
+	Run:  runGenKey,
+}
+
+func runGenKey(u *Unit) []Diagnostic {
+	// Index the package's function declarations so key-builder helpers
+	// can be followed.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	g := &genScan{u: u, decls: decls}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				enclosing = fd
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			recv, method, ok := cacheCall(u, call)
+			if !ok {
+				return true
+			}
+			if g.hasMarker(call.Args[0], enclosing, 0, map[types.Object]bool{}) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pass: "genkey",
+				Pos:  u.Fset.Position(call.Pos()),
+				Message: "cache key for " + exprString(recv) + "." + method +
+					" embeds no generation marker (ontology/corpus generation): entries will outlive the state they were computed from; include a generation in the key, or suppress with a reasoned ignore if the cached value is a pure function of the key",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// cacheCall matches `c.Get(key)` / `c.Put(key, v)` where c is a (possibly
+// pointer-to) named type called Cache.
+func cacheCall(u *Unit, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	method = sel.Sel.Name
+	if method != "Get" && method != "Put" {
+		return nil, "", false
+	}
+	t := u.Info.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := types.Unalias(t).(*types.Named)
+	if !isNamed || named.Obj().Name() != "Cache" {
+		return nil, "", false
+	}
+	return sel.X, method, true
+}
+
+// genScan searches expressions for generation markers.
+type genScan struct {
+	u     *Unit
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+const maxGenDepth = 3
+
+// hasMarker reports whether an expression's construction mentions a
+// generation source, following local variables and same-package calls.
+func (g *genScan) hasMarker(e ast.Expr, enclosing *ast.FuncDecl, depth int, seen map[types.Object]bool) bool {
+	if e == nil || depth > maxGenDepth {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if isGenName(x.Name) {
+				found = true
+				return false
+			}
+			// Follow a local variable to its defining expression.
+			obj := g.u.Info.Uses[x]
+			if v, ok := obj.(*types.Var); ok && enclosing != nil && !seen[v] {
+				seen[v] = true
+				if g.followsToMarker(v, enclosing, depth, seen) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if isGenName(x.Sel.Name) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if g.callHasMarker(x, depth, seen) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callHasMarker: a call contributes a marker when it is a Generation()
+// method, or a same-package function whose body mentions one.
+func (g *genScan) callHasMarker(call *ast.CallExpr, depth int, seen map[types.Object]bool) bool {
+	var name *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun
+	case *ast.SelectorExpr:
+		name = fun.Sel
+	default:
+		return false
+	}
+	if isGenName(name.Name) {
+		return true
+	}
+	fn, ok := g.u.Info.Uses[name].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Name() == "Generation" {
+		return true
+	}
+	fd, ok := g.decls[fn]
+	if !ok || depth >= maxGenDepth {
+		return false
+	}
+	// Scan the callee's whole body: a key builder that touches a
+	// generation anywhere qualifies.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if isGenName(x.Name) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if g.callHasMarker(x, depth+1, seen) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// followsToMarker resolves a variable to the expressions assigned to it
+// inside the enclosing function and scans those.
+func (g *genScan) followsToMarker(v *types.Var, enclosing *ast.FuncDecl, depth int, seen map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := g.u.Info.Defs[id]
+			if obj == nil {
+				obj = g.u.Info.Uses[id]
+			}
+			if obj != v {
+				continue
+			}
+			if rhs := rhsFor(as, i); rhs != nil &&
+				g.hasMarker(rhs, enclosing, depth+1, seen) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isGenName reports whether an identifier names a generation source:
+// it contains "gen" as a word-ish substring ("corpusGen", "genKey",
+// "Generation", "ontGen").
+func isGenName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "gen")
+}

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanBalance checks that every observability span opened with
+// Start(...) reaches End() on every return path — via `defer sp.End()`
+// or an End() call that precedes each return. An error path that
+// returns with a span open leaks it: the span stays unended in the
+// trace's bounded arena and its duration is never recorded, so traces
+// of failing requests silently lose stages.
+//
+// A span is any value of a named type `Span` (pointer) produced by a
+// method named Start — internal/obs.Span in this repository. The check
+// is lexical, per function, over the statement sequence:
+//
+//   - `defer sp.End()` balances every subsequent path;
+//   - an `sp.End()` statement balances the paths that flow through it
+//     (statements after it in the same block, and a return following it
+//     inside the same branch);
+//   - the `if sp := x.Start(...); sp != nil { ... }` form is balanced
+//     when the body balances sp (the skipped branch holds only nil);
+//   - a span that escapes the function — returned, stored in a struct,
+//     slice or map, or captured by a closure — becomes the consumer's
+//     responsibility and is not tracked further. Passing the span as a
+//     call argument does not end it.
+var SpanBalance = &Pass{
+	Name: "spanbalance",
+	Doc:  "flag obs spans that are not ended on every return path",
+	Run:  runSpanBalance,
+}
+
+func runSpanBalance(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			diags = append(diags, checkSpanBody(u, body)...)
+			return true
+		})
+	}
+	return diags
+}
+
+// spanStart is one tracked `sp := x.Start(...)` site.
+type spanStart struct {
+	obj  types.Object // the span variable
+	name string
+	stmt ast.Stmt // the assignment (or if-with-init) statement
+}
+
+// checkSpanBody finds the Start assignments directly inside one
+// function body (not inside nested function literals, which are checked
+// separately) and verifies each is balanced.
+func checkSpanBody(u *Unit, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	var walkStmts func(stmts []ast.Stmt)
+	walkStmts = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			switch x := s.(type) {
+			case *ast.AssignStmt:
+				if st := spanAssign(u, x); st != nil {
+					st.stmt = s
+					if d := checkSpanFrom(u, st, stmts[i+1:], body); d != nil {
+						diags = append(diags, *d)
+					}
+				}
+			case *ast.IfStmt:
+				// `if sp := x.Start(...); sp != nil { body }`: balanced
+				// when the body balances sp (the skipped branch holds
+				// only nil). Any other condition means the cond-false
+				// path drops an open span, so the whole if must balance
+				// it — which only an escape or an in-branch defer can.
+				if init, ok := x.Init.(*ast.AssignStmt); ok {
+					if st := spanAssign(u, init); st != nil {
+						st.stmt = s
+						rest := x.Body.List
+						if !isNilCheck(u, x.Cond, st.obj) {
+							rest = []ast.Stmt{x}
+						}
+						if d := checkSpanFrom(u, st, rest, body); d != nil {
+							diags = append(diags, *d)
+						}
+					}
+				}
+			}
+			// Recurse into nested blocks to find Starts there, except
+			// function literals (their own walk handles them).
+			switch x := s.(type) {
+			case *ast.BlockStmt:
+				walkStmts(x.List)
+			case *ast.IfStmt:
+				walkStmts(x.Body.List)
+				if eb, ok := x.Else.(*ast.BlockStmt); ok {
+					walkStmts(eb.List)
+				} else if ei, ok := x.Else.(*ast.IfStmt); ok {
+					walkStmts([]ast.Stmt{ei})
+				}
+			case *ast.ForStmt:
+				walkStmts(x.Body.List)
+			case *ast.RangeStmt:
+				walkStmts(x.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkStmts(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkStmts(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						walkStmts(cc.Body)
+					}
+				}
+			case *ast.LabeledStmt:
+				walkStmts([]ast.Stmt{x.Stmt})
+			}
+		}
+	}
+	walkStmts(body.List)
+	return diags
+}
+
+// spanAssign recognizes `sp := x.Start(...)` where the result is a
+// *Span, returning the tracked variable. Plain `=` reassignment is not
+// tracked: the variable's scope (and so its End) may lie outside the
+// block this walk can see.
+func spanAssign(u *Unit, x *ast.AssignStmt) *spanStart {
+	if x.Tok != token.DEFINE || len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+		return nil
+	}
+	id, ok := x.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	call, ok := x.Rhs[0].(*ast.CallExpr)
+	if !ok || !isSpanStartCall(u, call) {
+		return nil
+	}
+	obj := u.Info.Defs[id]
+	if obj == nil {
+		return nil
+	}
+	return &spanStart{obj: obj, name: id.Name}
+}
+
+// isNilCheck matches `sp != nil` for the tracked variable.
+func isNilCheck(u *Unit, cond ast.Expr, obj types.Object) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && u.Info.Uses[id] == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isObj(be.X) && isNil(be.Y)) || (isObj(be.Y) && isNil(be.X))
+}
+
+// isSpanStartCall reports whether a call is a Start method returning a
+// pointer to a named type called Span.
+func isSpanStartCall(u *Unit, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	t := u.Info.TypeOf(call)
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Span"
+}
+
+// spanWalker tracks one span variable through the statements after its
+// Start.
+type spanWalker struct {
+	u       *Unit
+	obj     types.Object
+	name    string
+	endSeen bool     // an End() or defer End() exists somewhere
+	escaped bool     // the span left the function's hands
+	leak    ast.Node // first return reached with the span open
+}
+
+// checkSpanFrom verifies one Start site: the statements after it (rest)
+// must end the span before every return and before falling off the end
+// of the function body, unless the span escapes.
+func checkSpanFrom(u *Unit, st *spanStart, rest []ast.Stmt, body *ast.BlockStmt) *Diagnostic {
+	w := &spanWalker{u: u, obj: st.obj, name: st.name}
+	ended := w.seq(rest, false)
+	if w.escaped {
+		return nil
+	}
+	if w.leak != nil {
+		return &Diagnostic{
+			Pass:    "spanbalance",
+			Pos:     u.Fset.Position(w.leak.Pos()),
+			Message: "span " + st.name + " is still open on this return path; call " + st.name + ".End() before returning or use defer",
+		}
+	}
+	if !ended {
+		// Falling off the end of the statement sequence with the span
+		// open: only a leak when that sequence reaches the function end
+		// (for the if-init form, the body must end the span).
+		return &Diagnostic{
+			Pass:    "spanbalance",
+			Pos:     u.Fset.Position(st.stmt.Pos()),
+			Message: "span " + st.name + " is never ended on some path through this function; call " + st.name + ".End() on every path or use defer " + st.name + ".End()",
+		}
+	}
+	return nil
+}
+
+// seq walks a statement sequence with the current ended state and
+// returns the state after it. The walk is lexical: an End inside a
+// branch balances that branch's returns but does not end the span for
+// statements after the branch.
+func (w *spanWalker) seq(stmts []ast.Stmt, ended bool) bool {
+	for _, s := range stmts {
+		ended = w.stmt(s, ended)
+		if w.leak != nil || w.escaped {
+			return ended
+		}
+	}
+	return ended
+}
+
+func (w *spanWalker) stmt(s ast.Stmt, ended bool) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if w.isEndCall(x.X) {
+			return true
+		}
+		w.scanEscape(x.X)
+	case *ast.DeferStmt:
+		if w.isEndCall(x.Call) {
+			return true
+		}
+		w.scanEscape(x.Call)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if w.refersToSpan(r) {
+				w.escaped = true
+				return ended
+			}
+			w.scanEscape(r)
+		}
+		if w.escaped {
+			return ended
+		}
+		if !ended {
+			w.leak = x
+		}
+		return true // path closed; later statements are a different path
+	case *ast.AssignStmt:
+		// Storing the bare span anywhere hands off ownership; closures
+		// in the right-hand sides may capture it too.
+		for _, rhs := range x.Rhs {
+			if w.refersToSpan(rhs) {
+				w.escaped = true
+				return ended
+			}
+			w.scanEscape(rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						if w.refersToSpan(v) {
+							w.escaped = true
+							return ended
+						}
+						w.scanEscape(v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			ended = w.stmt(x.Init, ended)
+		}
+		w.seq(x.Body.List, ended)
+		if w.leak != nil || w.escaped {
+			return ended
+		}
+		if x.Else != nil {
+			w.stmt(x.Else, ended)
+		}
+		return ended
+	case *ast.BlockStmt:
+		return w.seq(x.List, ended)
+	case *ast.ForStmt:
+		w.seq(x.Body.List, ended)
+		return ended
+	case *ast.RangeStmt:
+		w.seq(x.Body.List, ended)
+		return ended
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		switch sw := x.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		for _, c := range clauses {
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				w.seq(cc.Body, ended)
+			case *ast.CommClause:
+				w.seq(cc.Body, ended)
+			}
+			if w.leak != nil || w.escaped {
+				return ended
+			}
+		}
+		return ended
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, ended)
+	case *ast.GoStmt:
+		w.scanEscape(x.Call)
+	}
+	return ended
+}
+
+// isEndCall matches `sp.End()` on the tracked variable.
+func (w *spanWalker) isEndCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && w.u.Info.Uses[id] == w.obj
+}
+
+// refersToSpan reports whether an expression is the bare span variable
+// (not a method call on it or a field of it).
+func (w *spanWalker) refersToSpan(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && w.u.Info.Uses[id] == w.obj
+}
+
+// scanEscape marks the span escaped when the bare variable appears in a
+// composite literal, closure, or is captured — but a plain call
+// argument (`f(ctx, sp)`) keeps tracking: the repo's convention is that
+// a helper receiving a span records into it while the caller still owns
+// End. Closures that capture the variable take over ownership.
+func (w *spanWalker) scanEscape(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				target := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					target = kv.Value
+				}
+				if w.refersToSpan(target) {
+					w.escaped = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && w.u.Info.Uses[id] == w.obj {
+					w.escaped = true
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}

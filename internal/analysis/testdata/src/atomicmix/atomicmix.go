@@ -1,0 +1,53 @@
+// Package atomicmix is a fixture for the atomicmix pass.
+package atomicmix
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to hits; total is always
+// atomic and misses always plain, so only hits is flagged.
+type Counter struct {
+	hits   int64
+	misses int64
+	total  int64
+}
+
+// Hit establishes the atomic discipline for hits and total.
+func (c *Counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Snapshot reads hits without the atomic API.
+func (c *Counter) Snapshot() int64 {
+	return c.hits // want atomicmix "accessed via sync/atomic elsewhere"
+}
+
+// Misses touches a field that is never accessed atomically: exempt.
+func (c *Counter) Misses() int64 {
+	c.misses++
+	return c.misses
+}
+
+// Total stays on the atomic API everywhere: exempt.
+func (c *Counter) Total() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+// NewCounter seeds hits before the value is shared; composite-literal
+// keys are initialization, not the hunted race.
+func NewCounter() *Counter {
+	return &Counter{hits: 1}
+}
+
+// requests is a package-level variable under atomic discipline.
+var requests int64
+
+// Observe is the atomic site.
+func Observe() {
+	atomic.AddInt64(&requests, 1)
+}
+
+// Requests is the racing plain read.
+func Requests() int64 {
+	return requests // want atomicmix
+}

@@ -1,0 +1,68 @@
+// Package genkey is a fixture for the genkey pass. Cache mirrors the
+// shape of internal/cache.Cache (the loader cannot resolve
+// module-internal imports in fixtures, so the pass matches by type
+// name).
+package genkey
+
+import "strconv"
+
+// Cache is the lookalike layered-cache type.
+type Cache struct {
+	m map[string]string
+}
+
+// Get looks a key up.
+func (c *Cache) Get(key string) (string, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores a value.
+func (c *Cache) Put(key, v string) {
+	c.m[key] = v
+}
+
+// Lookup builds its key from the query text alone: entries survive
+// every reload.
+func Lookup(c *Cache, q string) (string, bool) {
+	return c.Get("q|" + q) // want genkey "embeds no generation marker"
+}
+
+// Store builds the key through a local variable; the pass follows it
+// to the defining assignment.
+func Store(c *Cache, q, v string) {
+	key := "q|" + q
+	c.Put(key, v) // want genkey
+}
+
+// corpusGen stands in for the corpus generation counter.
+var corpusGen int64
+
+// keyFor is a key builder that embeds the corpus generation.
+func keyFor(q string) string {
+	return strconv.FormatInt(corpusGen, 10) + "|" + q
+}
+
+// LookupFresh reaches its generation marker through the key builder.
+func LookupFresh(c *Cache, q string) (string, bool) {
+	return c.Get(keyFor(q))
+}
+
+// LookupWithGen takes the generation as a parameter.
+func LookupWithGen(c *Cache, q string, gen int64) (string, bool) {
+	return c.Get(strconv.FormatInt(gen, 10) + "|" + q)
+}
+
+// Ontology exposes a Generation method like internal/ontology.
+type Ontology struct {
+	n int64
+}
+
+// Generation returns the mutation counter.
+func (o *Ontology) Generation() int64 { return o.n }
+
+// StoreFresh keys on the ontology generation via a local.
+func StoreFresh(c *Cache, o *Ontology, q, v string) {
+	key := strconv.FormatInt(o.Generation(), 10) + "|" + q
+	c.Put(key, v)
+}

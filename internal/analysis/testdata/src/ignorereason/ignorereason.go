@@ -1,0 +1,25 @@
+// Package ignorereason exercises the reasoned-ignore rule: a directive
+// without a reason suppresses nothing and is itself a finding, while a
+// reasoned one suppresses the named pass on the statement it covers.
+// Expectations live in TestIgnoreReasonFixture rather than want
+// markers — a marker appended to a directive line would parse as its
+// reason.
+package ignorereason
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// Bare carries a directive with no reason: the errdrop finding below
+// it must survive, and the directive itself becomes an "ignore"
+// finding.
+func Bare() {
+	//nalixlint:ignore errdrop
+	_ = mayFail()
+}
+
+// Reasoned suppresses the identical finding.
+func Reasoned() {
+	//nalixlint:ignore errdrop the boom error is synthetic and dropped on purpose
+	_ = mayFail()
+}

@@ -1,0 +1,100 @@
+// Package lockorder is a fixture for the lockorder pass. The bodies
+// are never executed (some would deadlock); only their lock graphs
+// matter.
+package lockorder
+
+import "sync"
+
+// Pair's two mutexes are taken in opposite orders by AB and BA. The
+// cycle report anchors at the earliest edge, AB's inner Lock.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB acquires a then b.
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want lockorder "lock-order cycle Pair.a → Pair.b → Pair.a"
+	p.b.Unlock()
+}
+
+// BA acquires b then a — the opposite order.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// Sequential never overlaps the two locks: no edge, no report.
+func (p *Pair) Sequential() {
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// Tree hides one side of its cycle behind a same-package call: Down
+// holds parent while calling lockChild, which acquires child.
+type Tree struct {
+	parent sync.Mutex
+	child  sync.Mutex
+}
+
+// lockChild is the helper the call summary must see through.
+func (t *Tree) lockChild() {
+	t.child.Lock()
+	t.child.Unlock()
+}
+
+// Down holds parent across the child-locking call.
+func (t *Tree) Down() {
+	t.parent.Lock()
+	t.lockChild() // want lockorder "lock-order cycle Tree.child → Tree.parent → Tree.child"
+	t.parent.Unlock()
+}
+
+// Up acquires child then parent directly.
+func (t *Tree) Up() {
+	t.child.Lock()
+	t.parent.Lock()
+	t.parent.Unlock()
+	t.child.Unlock()
+}
+
+// Rec nests the same non-reentrant mutex: a self-edge.
+type Rec struct {
+	mu sync.Mutex
+}
+
+// Twice would deadlock on the second Lock.
+func (r *Rec) Twice() {
+	r.mu.Lock()
+	r.mu.Lock() // want lockorder "lock-order cycle Rec.mu → Rec.mu"
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Ordered always nests in the same direction: edges but no cycle.
+type Ordered struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+// OneWay nests first then second.
+func (o *Ordered) OneWay() {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+// SameWay nests in the same order with deferred releases.
+func (o *Ordered) SameWay() {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+}

@@ -118,7 +118,7 @@ func bodyLocal(m map[string]int) int {
 func suppressed(m map[string]int) []string {
 	var keys []string
 	for k := range m {
-		//nalixlint:ignore maporder
+		//nalixlint:ignore maporder the caller sorts keys before use
 		keys = append(keys, k)
 	}
 	return keys

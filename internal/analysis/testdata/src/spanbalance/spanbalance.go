@@ -1,0 +1,115 @@
+// Package spanbalance is a fixture for the spanbalance pass. Span and
+// Tracer mirror the shape of internal/obs (the loader cannot resolve
+// module-internal imports in fixtures, so the pass matches by type
+// name).
+package spanbalance
+
+import "errors"
+
+// Span is the tracked type: produced by Start, closed by End.
+type Span struct {
+	name string
+}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Tracer produces spans.
+type Tracer struct{}
+
+// Start opens a span.
+func (t *Tracer) Start(name string) *Span {
+	return &Span{name: name}
+}
+
+// EarlyReturn leaks the span on the error path.
+func EarlyReturn(t *Tracer, fail bool) error {
+	sp := t.Start("early")
+	if fail {
+		return errors.New("boom") // want spanbalance "still open on this return path"
+	}
+	sp.End()
+	return nil
+}
+
+// NeverEnded opens a span and falls off the end of the function.
+func NeverEnded(t *Tracer) {
+	sp := t.Start("never") // want spanbalance "never ended on some path"
+	_ = sp.name
+}
+
+// InClosure checks function literals get their own walk.
+func InClosure(t *Tracer) {
+	f := func(fail bool) {
+		sp := t.Start("closure")
+		if fail {
+			return // want spanbalance
+		}
+		sp.End()
+	}
+	f(true)
+}
+
+// Deferred balances every path up front.
+func Deferred(t *Tracer, fail bool) error {
+	sp := t.Start("deferred")
+	defer sp.End()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// Balanced ends the span before each return.
+func Balanced(t *Tracer, fail bool) error {
+	sp := t.Start("balanced")
+	if fail {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// IfInit is the guarded form: the skipped branch holds only nil.
+func IfInit(t *Tracer) {
+	if sp := t.Start("ifinit"); sp != nil {
+		sp.End()
+	}
+}
+
+// annotate records into a span it does not own.
+func annotate(sp *Span) {
+	sp.name += "!"
+}
+
+// WithHelper passes the span to a helper — not a handoff; the caller
+// still ends it.
+func WithHelper(t *Tracer) {
+	sp := t.Start("helper")
+	annotate(sp)
+	sp.End()
+}
+
+// Handoff returns the span: the consumer owns End.
+func Handoff(t *Tracer) *Span {
+	sp := t.Start("handoff")
+	return sp
+}
+
+// holder stores a span for a later stage.
+type holder struct {
+	sp *Span
+}
+
+// Stored escapes the span through a composite literal in the return.
+func Stored(t *Tracer) holder {
+	sp := t.Start("stored")
+	return holder{sp: sp}
+}
+
+// Captured escapes the span into a returned closure.
+func Captured(t *Tracer) func() {
+	sp := t.Start("captured")
+	return func() { sp.End() }
+}

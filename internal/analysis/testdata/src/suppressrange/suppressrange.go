@@ -1,0 +1,36 @@
+// Package suppressrange pins the directive attachment rule: a
+// directive covers the full line range of the statement it precedes —
+// and nothing beyond it.
+package suppressrange
+
+// Collect's directive must reach the append two lines below it, inside
+// the multi-line range statement; a bare line+1 rule misses it.
+func Collect(m map[string]int) []string {
+	var out []string
+	//nalixlint:ignore maporder the caller treats out as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Detached: a blank line between directive and statement breaks the
+// attachment, so the finding survives.
+func Detached(m map[string]int) []string {
+	var far []string
+	//nalixlint:ignore maporder this directive is detached and must not apply
+
+	for k := range m {
+		far = append(far, k) // want maporder
+	}
+	return far
+}
+
+// Control has no directive at all.
+func Control(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}

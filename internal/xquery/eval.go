@@ -108,6 +108,7 @@ func (e *Engine) Compile(src string) (Expr, error) {
 	if e.planCache == nil {
 		return Parse(src)
 	}
+	//nalixlint:ignore genkey a compiled plan is a pure function of the query text, so no generation can stale it
 	if expr, ok := e.planCache.Get(src); ok {
 		return expr, nil
 	}
@@ -115,6 +116,7 @@ func (e *Engine) Compile(src string) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	//nalixlint:ignore genkey a compiled plan is a pure function of the query text, so no generation can stale it
 	e.planCache.Put(src, expr)
 	return expr, nil
 }

@@ -8,7 +8,7 @@ set -eux
 go build ./...
 go vet ./...
 go run ./cmd/nalixlint ./...
-go test -race ./...
+go test -race -shuffle=on ./...
 # Benchmark smoke: run every benchmark for a single iteration (no
 # timing), so bit-rot in the bench harness fails the gate.
 go test -run '^$' -bench . -benchtime 1x ./...
