@@ -32,6 +32,7 @@ func main() {
 	corpus := flag.String("corpus", "", "built-in corpus to load: movies, library, bib or dblp")
 	values := flag.Bool("values", false, "print flattened element/attribute values instead of XML")
 	explain := flag.Bool("explain", false, "print the evaluation span tree (plan, per-clause work, mqf) with timings on stderr")
+	plan := flag.Bool("plan", false, "print the static evaluation plan (clause order, per-clause domain strategy, mqf discharge) on stderr before evaluating")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -81,6 +82,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *plan {
+		printPlan(eng, expr)
+	}
 	esp := root.Start("eval")
 	res, err := eng.EvalTraced(expr, esp)
 	esp.End()
@@ -102,6 +106,33 @@ func main() {
 		tr.Finish()
 		fmt.Fprint(os.Stderr, tr.Render())
 	}
+}
+
+// printPlan renders the static FLWOR plan on stderr: one line per
+// for-clause with the chosen domain strategy, then the mqf-discharge
+// summary. Non-FLWOR expressions have no plan to report.
+func printPlan(eng *xquery.Engine, expr xquery.Expr) {
+	rep := eng.ExplainPlan(expr)
+	if rep == nil {
+		fmt.Fprintln(os.Stderr, "plan: not a FLWOR expression (no clause plan)")
+		return
+	}
+	order := "source order"
+	if rep.Reordered {
+		order = "reordered"
+	}
+	fmt.Fprintf(os.Stderr, "plan: %d for-clause(s), %s\n", len(rep.Clauses), order)
+	for _, c := range rep.Clauses {
+		line := fmt.Sprintf("  $%s: %s", c.Var, c.Strategy)
+		if c.Label != "" {
+			line += fmt.Sprintf(" label=%s card=%d", c.Label, c.Cardinality)
+		}
+		if len(c.Partners) > 0 {
+			line += " partners=$" + strings.Join(c.Partners, ",$")
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	fmt.Fprintf(os.Stderr, "  mqf conjuncts: %d (%d discharged by candidate generation)\n", rep.MQF, rep.Discharged)
 }
 
 func fatal(err error) {

@@ -33,6 +33,14 @@
 //     generation marker (ontology/corpus generation), encoding the
 //     query cache's staleness contract as a compile-time check.
 //
+// The structural-join planner consumes node slices directly as binding
+// domains, which made result order part of every node-returning API's
+// contract:
+//
+//   - ordercontract: an exported function returning a node slice must
+//     document the result order (document order, Pre-sorted, reverse,
+//     or explicitly unspecified) in its doc comment.
+//
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/types); there are no third-party analyzer dependencies. The
 // cmd/nalixlint driver loads the module, runs every pass, and exits
@@ -92,7 +100,7 @@ type Unit struct {
 
 // Passes returns every registered pass, in stable order.
 func Passes() []*Pass {
-	return []*Pass{MapOrder, Exhaustive, LockCheck, ErrDrop, AtomicMix, LockOrder, SpanBalance, GenKey}
+	return []*Pass{MapOrder, Exhaustive, LockCheck, ErrDrop, AtomicMix, LockOrder, SpanBalance, GenKey, OrderContract}
 }
 
 // PassTiming is one pass's cumulative wall-clock time over a unit.

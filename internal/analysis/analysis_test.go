@@ -124,6 +124,9 @@ func TestAtomicMixFixture(t *testing.T)   { checkFixture(t, "atomicmix") }
 func TestLockOrderFixture(t *testing.T)   { checkFixture(t, "lockorder") }
 func TestSpanBalanceFixture(t *testing.T) { checkFixture(t, "spanbalance") }
 func TestGenKeyFixture(t *testing.T)      { checkFixture(t, "genkey") }
+func TestOrderContractFixture(t *testing.T) {
+	checkFixture(t, "ordercontract")
+}
 
 // TestSuppressRangeFixture is the regression fixture for the directive
 // attachment rule: a directive must cover the full line range of the

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OrderContract enforces the result-order documentation contract the
+// structural-join work made load-bearing: the XQuery planner consumes
+// node slices (label indexes, relatedness candidate streams, structural
+// join output) directly as binding domains, where order is observable in
+// query results. A function that returns nodes without saying what order
+// they come in invites exactly the bug this repo shipped — candidates
+// emitted with the subtree-window root appended after its descendants,
+// breaking document order downstream.
+//
+// Mechanically: every exported function or method with a result of type
+// []T or []*T where T is a named type called Node must mention the
+// result order in its doc comment — any wording containing "order",
+// "sorted" or "shuffled" counts ("in document order", "Pre-sorted",
+// "order is unspecified", ...). Matching is by type name, like the
+// genkey pass, so fixtures need not import module-internal packages.
+// Unexported helpers are out of scope: inside a package the order
+// invariant is visible from the implementation.
+var OrderContract = &Pass{
+	Name: "ordercontract",
+	Doc:  "flag exported functions returning node slices without a documented order contract",
+	Run:  runOrderContract,
+}
+
+func runOrderContract(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsNodeSlice(u, fd) {
+				continue
+			}
+			if hasOrderWording(fd.Doc) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pass: "ordercontract",
+				Pos:  u.Fset.Position(fd.Name.Pos()),
+				Message: fd.Name.Name + " returns a node slice but its doc comment does not state the result order; " +
+					"callers feed node slices into order-sensitive plans — document the order " +
+					"(\"in document order\", \"Pre-sorted\", ...) or state explicitly that it is unspecified",
+			})
+		}
+	}
+	return diags
+}
+
+// returnsNodeSlice reports whether any result of the function is a slice
+// of (pointers to) a named type called Node.
+func returnsNodeSlice(u *Unit, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		t := u.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		elem := sl.Elem()
+		if p, isPtr := elem.(*types.Pointer); isPtr {
+			elem = p.Elem()
+		}
+		named, isNamed := elem.(*types.Named)
+		if isNamed && named.Obj().Name() == "Node" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasOrderWording reports whether the doc comment commits to a result
+// order (or to the absence of one).
+func hasOrderWording(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.ToLower(doc.Text())
+	for _, w := range []string{"order", "sorted", "shuffled"} {
+		if strings.Contains(text, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package mqf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nalix/internal/obs"
+	"nalix/internal/xmldb"
+)
+
+// TestRelatedCandidatesDocumentOrder is the regression test for the
+// candidate-order contract: RelatedCandidates returns candidates in
+// document order (strictly ascending Pre), so a related ancestor — the
+// MLCA witness itself — comes before every related node inside its
+// subtree. An earlier version appended the witness after the subtree
+// scan, handing the planner out-of-order domains.
+func TestRelatedCandidatesDocumentOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		doc := randomDoc(seed)
+		c := NewChecker(doc)
+		for _, n := range doc.Nodes() {
+			if n.Kind != xmldb.ElementNode {
+				continue
+			}
+			for _, label := range doc.Labels() {
+				cands := c.RelatedCandidates(n, label)
+				for i := 1; i < len(cands); i++ {
+					if cands[i-1].Pre >= cands[i].Pre {
+						t.Logf("seed %d: RelatedCandidates(%s#%d, %q) out of document order at %d: Pre %d >= %d",
+							seed, n.Label, n.ID, label, i, cands[i-1].Pre, cands[i].Pre)
+						return false
+					}
+				}
+				// A related proper ancestor must precede every other
+				// candidate: it has the smallest Pre of any node whose
+				// subtree holds them.
+				for i, cand := range cands {
+					if cand != n && cand.IsAncestorOf(n) && i != 0 {
+						t.Logf("seed %d: ancestor candidate %s#%d not first", seed, cand.Label, cand.ID)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// nestedLoopPairs is the pre-structural-join reference implementation:
+// test every (a, b) combination of the two label streams with the
+// relatedness predicate directly. Quadratic, but unarguably correct —
+// the property tests hold RelatedPairs to it.
+func nestedLoopPairs(c *Checker, labelA, labelB string) []Pair {
+	if labelA == labelB {
+		return nil
+	}
+	var out []Pair
+	for _, a := range c.doc.NodesByLabel(labelA) {
+		for _, b := range c.doc.NodesByLabel(labelB) {
+			if c.Related(a, b) {
+				out = append(out, Pair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// TestRelatedPairsMatchesNestedLoop property-checks the holistic
+// structural join against the nested-loop reference on seeded random
+// documents: identical pair sets, in identical (A.Pre, B.Pre) order.
+func TestRelatedPairsMatchesNestedLoop(t *testing.T) {
+	f := func(seed int64) bool {
+		doc := randomDoc(seed)
+		c := NewChecker(doc)
+		labels := doc.Labels()
+		for _, la := range labels {
+			for _, lb := range labels {
+				got := c.RelatedPairs(la, lb)
+				want := nestedLoopPairs(NewChecker(doc), la, lb)
+				if len(got) != len(want) {
+					t.Logf("seed %d: RelatedPairs(%q, %q) = %d pairs, nested loop found %d",
+						seed, la, lb, len(got), len(want))
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Logf("seed %d: RelatedPairs(%q, %q) pair %d = (%d,%d), want (%d,%d)",
+							seed, la, lb, i, got[i].A.Pre, got[i].B.Pre, want[i].A.Pre, want[i].B.Pre)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlushStatsExactCounts checks that sub-threshold batched hit/miss
+// counts reach the package counters when FlushStats is called — the bug
+// was that short-lived checkers (one query over a freshly loaded
+// document) dropped every batch smaller than the flush threshold.
+func TestFlushStatsExactCounts(t *testing.T) {
+	doc := randomDoc(11)
+	c := NewChecker(doc)
+	var probe *xmldb.Node
+	for _, n := range doc.Nodes() {
+		if n.Kind == xmldb.ElementNode && n.Label != "root" {
+			probe = n
+			break
+		}
+	}
+	if probe == nil {
+		t.Fatal("random doc has no element node")
+	}
+	label := doc.Labels()[0]
+
+	hits0 := obs.Default.Counter("mqf_cache_hits").Value()
+	misses0 := obs.Default.Counter("mqf_cache_misses").Value()
+
+	c.MLCADepth(probe, label) // miss: computes and memoizes
+	for i := 0; i < 9; i++ {
+		c.MLCADepth(probe, label) // nine hits on the memo
+	}
+
+	// Ten probes are far below the batch threshold, so nothing may have
+	// been published yet...
+	if h := obs.Default.Counter("mqf_cache_hits").Value(); h != hits0 {
+		t.Fatalf("hits published before FlushStats: %d -> %d", hits0, h)
+	}
+	if m := obs.Default.Counter("mqf_cache_misses").Value(); m != misses0 {
+		t.Fatalf("misses published before FlushStats: %d -> %d", misses0, m)
+	}
+
+	// ...and FlushStats must publish the exact tally.
+	c.FlushStats()
+	if h := obs.Default.Counter("mqf_cache_hits").Value() - hits0; h != 9 {
+		t.Errorf("hits after FlushStats = %d, want 9", h)
+	}
+	if m := obs.Default.Counter("mqf_cache_misses").Value() - misses0; m != 1 {
+		t.Errorf("misses after FlushStats = %d, want 1", m)
+	}
+
+	// A second flush has nothing left to publish.
+	c.FlushStats()
+	if h := obs.Default.Counter("mqf_cache_hits").Value() - hits0; h != 9 {
+		t.Errorf("hits after second FlushStats = %d, want 9", h)
+	}
+}

@@ -41,30 +41,90 @@ const statsFlush = 1 << 12
 // are safe for concurrent use: the memo is the only mutable state and mu
 // guards it.
 type Checker struct {
-	doc   *xmldb.Document
+	doc *xmldb.Document
+	// labelIDs assigns each document label a dense id so the memo keys
+	// below hash two machine words instead of a string per probe (the
+	// memo lookups sit in the evaluator's innermost loops). Built once in
+	// NewChecker and read-only afterwards.
+	labelIDs map[string]int32
+
 	mu    sync.Mutex
-	cache map[depthKey]int
+	cache map[memoKey]int
+	// cands memoizes candidate streams, guarded by mu. Cached slices are
+	// shared with callers and must be treated as read-only.
+	cands map[memoKey][]*xmldb.Node
 	// Pending cache-hit/miss counts, guarded by mu and flushed to the
 	// package counters in statsFlush-sized batches (see statsFlush).
 	hits   int64
 	misses int64
 }
 
-type depthKey struct {
-	node  int
-	label string
+// memoKey keys the depth and candidate memos by (node id, dense label
+// id).
+type memoKey struct {
+	node int32
+	lid  int32
 }
 
 // NewChecker returns a Checker for the given document.
 func NewChecker(doc *xmldb.Document) *Checker {
-	return &Checker{doc: doc, cache: make(map[depthKey]int)}
+	labels := doc.Labels()
+	ids := make(map[string]int32, len(labels))
+	for i, l := range labels {
+		ids[l] = int32(i)
+	}
+	return &Checker{
+		doc:      doc,
+		labelIDs: ids,
+		cache:    make(map[memoKey]int),
+		cands:    make(map[memoKey][]*xmldb.Node),
+	}
+}
+
+// LabelID returns the checker's dense id for a document label, or -1
+// when the label does not occur in the document. Resolving the id once
+// and calling the *ByID variants keeps string hashing out of per-tuple
+// loops.
+func (c *Checker) LabelID(label string) int32 {
+	if id, ok := c.labelIDs[label]; ok {
+		return id
+	}
+	return -1
+}
+
+// labelName returns the label for a valid dense id.
+func (c *Checker) labelName(lid int32) string { return c.doc.Labels()[lid] }
+
+// FlushStats publishes any locally-batched cache hit/miss counts that have
+// not yet reached the statsFlush threshold. Without it, a Checker
+// abandoned below the threshold (a short-lived engine, a document
+// reload) silently drops its pending counts and the process-wide mqf
+// cache telemetry under-reports. Engine teardown and document replacement
+// call it; it is safe to call at any time and from any goroutine.
+func (c *Checker) FlushStats() {
+	c.mu.Lock()
+	h, m := c.hits, c.misses
+	c.hits, c.misses = 0, 0
+	c.mu.Unlock()
+	cacheHits.Add(h)
+	cacheMisses.Add(m)
 }
 
 // MLCADepth returns the depth of the deepest ancestor-or-self of n whose
 // subtree contains a node labelled label other than n itself, or -1 when no
 // such ancestor exists (label absent from the document).
 func (c *Checker) MLCADepth(n *xmldb.Node, label string) int {
-	key := depthKey{n.ID, label}
+	lid := c.LabelID(label)
+	if lid < 0 {
+		return -1
+	}
+	return c.MLCADepthByID(n, lid)
+}
+
+// MLCADepthByID is MLCADepth with a pre-resolved label id (see LabelID);
+// lid must be valid.
+func (c *Checker) MLCADepthByID(n *xmldb.Node, lid int32) int {
+	key := memoKey{int32(n.ID), lid}
 	c.mu.Lock()
 	d, ok := c.cache[key]
 	if ok {
@@ -83,18 +143,47 @@ func (c *Checker) MLCADepth(n *xmldb.Node, label string) int {
 	}
 	// Compute outside the lock — the document is immutable and a racing
 	// duplicate computation writes the same value.
-	doc := c.doc
-	depth := -1
-	for p := n; p != nil; p = p.Parent {
-		if doc.SubtreeContainsLabel(p, label, n) {
-			depth = p.Depth
-			break
-		}
-	}
+	depth := mlcaDepthIndexed(c.doc, n, c.labelName(lid))
 	c.mu.Lock()
 	c.cache[key] = depth
 	c.mu.Unlock()
 	return depth
+}
+
+// mlcaDepthIndexed computes the MLCA depth from the Pre-sorted label
+// index: the deepest common ancestor n forms with any member of a label
+// stream is always formed with one of its two document-order neighbors in
+// that stream (the LCA of a pre-order range equals the LCA of its
+// endpoints, so moving further away in document order can only raise the
+// meeting point). One binary search plus two O(depth) ancestor walks
+// replace the per-ancestor subtree scans of the naive computation.
+func mlcaDepthIndexed(doc *xmldb.Document, n *xmldb.Node, label string) int {
+	before, after := doc.LabelNeighbors(label, n.Pre)
+	depth := -1
+	if before != nil {
+		if d := lcaDepth(n, before); d > depth {
+			depth = d
+		}
+	}
+	if after != nil {
+		if d := lcaDepth(n, after); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// lcaDepth returns the depth of the lowest common ancestor of a and b
+// (-1 when they share no ancestor, which cannot happen within one
+// document).
+func lcaDepth(a, b *xmldb.Node) int {
+	for !a.IsAncestorOrSelf(b) {
+		a = a.Parent
+		if a == nil {
+			return -1
+		}
+	}
+	return a.Depth
 }
 
 // Related reports whether u and v are meaningfully related: their LCA is a
@@ -179,11 +268,39 @@ func (c *Checker) RelatedAllCounted(nodes []*xmldb.Node) (bool, int64) {
 }
 
 // RelatedCandidates returns the nodes with the given label that are
-// meaningfully related to u. This is the pruning primitive of the
-// structural-join optimizer in the XQuery evaluator: instead of scanning
-// every label-node and filtering, candidates come from the subtree of the
-// deepest ancestor of u that contains the label at all.
+// meaningfully related to u, in document (Pre) order. This is the pruning
+// primitive of the structural-join optimizer in the XQuery evaluator:
+// instead of scanning every label-node and filtering, candidates come
+// from the subtree of the deepest ancestor of u that contains the label
+// at all. Results are memoized per (node, label); the returned slice is
+// shared and must not be modified.
 func (c *Checker) RelatedCandidates(u *xmldb.Node, label string) []*xmldb.Node {
+	lid := c.LabelID(label)
+	if lid < 0 {
+		return nil
+	}
+	return c.RelatedCandidatesByID(u, lid)
+}
+
+// RelatedCandidatesByID is RelatedCandidates with a pre-resolved label id
+// (see LabelID); lid must be valid. The returned slice is Pre-sorted,
+// shared and must not be modified.
+func (c *Checker) RelatedCandidatesByID(u *xmldb.Node, lid int32) []*xmldb.Node {
+	key := memoKey{int32(u.ID), lid}
+	c.mu.Lock()
+	out, ok := c.cands[key]
+	c.mu.Unlock()
+	if ok {
+		return out
+	}
+	out = c.relatedCandidates(u, c.labelName(lid))
+	c.mu.Lock()
+	c.cands[key] = out
+	c.mu.Unlock()
+	return out
+}
+
+func (c *Checker) relatedCandidates(u *xmldb.Node, label string) []*xmldb.Node {
 	if u.Label == label {
 		return []*xmldb.Node{u}
 	}
@@ -191,25 +308,25 @@ func (c *Checker) RelatedCandidates(u *xmldb.Node, label string) []*xmldb.Node {
 	if d < 0 {
 		return nil
 	}
-	p := u
-	for p != nil && p.Depth > d {
-		p = p.Parent
-	}
-	if p == nil {
+	w := u.AncestorAtDepth(d)
+	if w == nil {
 		return nil
 	}
 	var out []*xmldb.Node
 	var checks int64
-	for _, cand := range c.doc.Descendants(p, label) {
+	// The window root precedes its descendants in document order: emit it
+	// first so the result is Pre-sorted (callers hand it straight back as
+	// a for-clause binding sequence, where order is observable).
+	if w.Label == label {
+		checks++
+		if c.Related(u, w) {
+			out = append(out, w)
+		}
+	}
+	for _, cand := range c.doc.Descendants(w, label) {
 		checks++
 		if c.Related(u, cand) {
 			out = append(out, cand)
-		}
-	}
-	if p.Label == label {
-		checks++
-		if c.Related(u, p) {
-			out = append(out, p)
 		}
 	}
 	relatedChecks.Add(checks)
@@ -230,38 +347,58 @@ type Group struct {
 // used by the standalone schema-free query API and by tests; the XQuery
 // evaluator uses RelatedAll as a join filter instead.
 //
-// The search is pruned by candidate partner sets: for each node of the
-// first label we only extend with nodes that are pairwise meaningfully
-// related to everything chosen so far.
+// The first two labels are joined holistically with RelatedPairs (one
+// pass over the Pre-sorted label streams); further labels extend each
+// pair through the memoized RelatedCandidates partner sets, filtered
+// pairwise against the nodes already chosen. Groups are produced in
+// lexicographic document order of their node tuples.
 func (c *Checker) Groups(labels ...string) []Group {
 	if len(labels) == 0 {
 		return nil
 	}
-	cands := make([][]*xmldb.Node, len(labels))
-	for i, l := range labels {
-		cands[i] = c.doc.NodesByLabel(l)
-		if len(cands[i]) == 0 {
+	for _, l := range labels {
+		if c.doc.LabelCount(l) == 0 {
 			return nil
 		}
 	}
 	var out []Group
+	emit := func(chosen []*xmldb.Node) {
+		nodes := make([]*xmldb.Node, len(chosen))
+		copy(nodes, chosen)
+		focus := nodes[0]
+		for _, n := range nodes[1:] {
+			focus = xmldb.LCA(focus, n)
+		}
+		out = append(out, Group{Nodes: nodes, Focus: focus})
+	}
+	first := c.doc.NodesByLabel(labels[0])
+	if len(labels) == 1 {
+		for _, n := range first {
+			emit([]*xmldb.Node{n})
+		}
+		return out
+	}
+	var pairs []Pair
+	if labels[0] == labels[1] {
+		// Distinct same-label nodes are never related; only the
+		// degenerate self-pairs survive.
+		for _, n := range first {
+			pairs = append(pairs, Pair{n, n})
+		}
+	} else {
+		pairs = c.RelatedPairs(labels[0], labels[1])
+	}
 	var checks int64
 	chosen := make([]*xmldb.Node, 0, len(labels))
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(labels) {
-			nodes := make([]*xmldb.Node, len(chosen))
-			copy(nodes, chosen)
-			focus := nodes[0]
-			for _, n := range nodes[1:] {
-				focus = xmldb.LCA(focus, n)
-			}
-			out = append(out, Group{Nodes: nodes, Focus: focus})
+			emit(chosen)
 			return
 		}
 	next:
-		for _, cand := range cands[i] {
-			for _, prev := range chosen {
+		for _, cand := range c.RelatedCandidates(chosen[0], labels[i]) {
+			for _, prev := range chosen[1:] {
 				checks++
 				if !c.Related(prev, cand) {
 					continue next
@@ -272,7 +409,10 @@ func (c *Checker) Groups(labels ...string) []Group {
 			chosen = chosen[:len(chosen)-1]
 		}
 	}
-	rec(0)
+	for _, p := range pairs {
+		chosen = append(chosen[:0], p.A, p.B)
+		rec(2)
+	}
 	relatedChecks.Add(checks)
 	return out
 }

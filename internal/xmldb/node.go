@@ -87,13 +87,28 @@ func (n *Node) IsAncestorOrSelf(d *Node) bool {
 }
 
 // Ancestors returns the ancestors of n from its parent up to the document
-// node, nearest first.
+// node, nearest first (reverse document order).
 func (n *Node) Ancestors() []*Node {
 	var out []*Node
 	for p := n.Parent; p != nil; p = p.Parent {
 		out = append(out, p)
 	}
 	return out
+}
+
+// AncestorAtDepth returns the ancestor-or-self of n at the given depth,
+// or nil when d is negative or exceeds n's own depth. This is the O(depth)
+// array walk the structural-join machinery uses to materialize the window
+// root identified by an MLCA depth.
+func (n *Node) AncestorAtDepth(d int) *Node {
+	if d < 0 || d > n.Depth {
+		return nil
+	}
+	p := n
+	for p.Depth > d {
+		p = p.Parent
+	}
+	return p
 }
 
 // LCA returns the lowest common ancestor of a and b (possibly a or b
@@ -196,6 +211,34 @@ func (d *Document) HasLabel(label string) bool {
 // label, in document order. The returned slice must not be modified.
 func (d *Document) NodesByLabel(label string) []*Node { return d.byLabel[label] }
 
+// LabelCount returns how many element/attribute nodes carry the given
+// label — the cardinality estimate the query planner selects domain
+// strategies with.
+func (d *Document) LabelCount(label string) int { return len(d.byLabel[label]) }
+
+// LabelNeighbors returns the label-stream nodes nearest to pre-order
+// position pre: the node with the largest Pre strictly below pre and the
+// node with the smallest Pre strictly above it (either may be nil). The
+// label index is Pre-sorted, so this is one binary search per side; it is
+// the index probe behind MLCA depth computation — the deepest common
+// ancestor a node forms with any member of a label stream is always
+// formed with one of its two document-order neighbors in that stream.
+func (d *Document) LabelNeighbors(label string, pre int) (before, after *Node) {
+	all := d.byLabel[label]
+	// First index with Pre >= pre.
+	i := sort.Search(len(all), func(k int) bool { return all[k].Pre >= pre })
+	if i > 0 {
+		before = all[i-1]
+	}
+	if i < len(all) && all[i].Pre == pre {
+		i++ // skip the probe node itself
+	}
+	if i < len(all) {
+		after = all[i]
+	}
+	return before, after
+}
+
 // Descendants returns the element/attribute descendants of root (or of the
 // whole document when root is the document node) with the given label, in
 // document order.
@@ -227,9 +270,9 @@ func (d *Document) SubtreeContainsLabel(root *Node, label string, exclude *Node)
 }
 
 // NodesWithValue returns element and attribute nodes whose atomized value
-// equals (case-insensitively) the given string. Used to resolve implicit
-// name tokens (Definition 11 of the paper). The underlying index is built
-// once, on first use.
+// equals (case-insensitively) the given string, in document order. Used to
+// resolve implicit name tokens (Definition 11 of the paper). The
+// underlying index is built once, on first use.
 func (d *Document) NodesWithValue(value string) []*Node {
 	if d.anyValue == nil {
 		d.anyValue = make(map[string][]*Node)
@@ -245,8 +288,8 @@ func (d *Document) NodesWithValue(value string) []*Node {
 }
 
 // NodesContainingValue returns element and attribute nodes whose atomized
-// value contains the given string, case-insensitively. Used by keyword
-// search and fuzzy implicit-NT resolution.
+// value contains the given string, case-insensitively, in document order.
+// Used by keyword search and fuzzy implicit-NT resolution.
 func (d *Document) NodesContainingValue(value string) []*Node {
 	want := strings.ToLower(strings.TrimSpace(value))
 	var out []*Node

@@ -1,0 +1,67 @@
+package xmp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nalix/internal/xquery"
+)
+
+// TestGoldAnswersIdenticalUnderEveryStrategy runs every task's gold query
+// with each planner strategy forced (and with the planner disabled
+// outright) and requires byte-identical flattened answers. The planner is
+// an optimizer, never a semantics change: a forced strategy whose
+// preconditions fail must degrade to the scan, not alter results.
+func TestGoldAnswersIdenticalUnderEveryStrategy(t *testing.T) {
+	settings := []struct {
+		name    string
+		disable bool
+		force   string
+	}{
+		{"planner-off", true, ""},
+		{"auto", false, ""},
+		{"force-scan", false, xquery.StrategyScan},
+		{"force-equality", false, xquery.StrategyEquality},
+		{"force-structural", false, xquery.StrategyStructural},
+	}
+	r := NewRunner(studyCorpus())
+	for _, tk := range Tasks() {
+		var want string
+		var wantName string
+		for _, s := range settings {
+			r.Engine.DisablePlanner = s.disable
+			r.Engine.ForceStrategy = s.force
+			// Degraded settings that are going to blow the budget anyway
+			// should do it quickly; the default budget is for the real
+			// engine, not for measuring how slow a disabled optimizer is.
+			r.Engine.MaxSteps = 0
+			if s.disable || s.force != "" {
+				r.Engine.MaxSteps = 3_000_000
+			}
+			seq, err := r.Engine.Query(tk.Gold)
+			if err != nil {
+				// Pinning one strategy (or disabling the planner) forfeits
+				// the other pushdowns, and the join-heavy tasks need both
+				// the equality and the structural one to stay sub-
+				// quadratic — a pinned run may therefore hit the safety
+				// budget. Only the default planner must answer every task;
+				// whatever completes must agree byte-for-byte.
+				if (s.disable || s.force != "") && errors.Is(err, xquery.ErrBudget) {
+					continue
+				}
+				t.Fatalf("%s under %s: %v", tk.ID, s.name, err)
+			}
+			got := strings.Join(xquery.FlattenValues(seq), "\n")
+			if wantName == "" {
+				want, wantName = got, s.name
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: answers under %s differ from %s", tk.ID, s.name, wantName)
+			}
+		}
+	}
+	r.Engine.DisablePlanner = false
+	r.Engine.ForceStrategy = ""
+}

@@ -41,7 +41,20 @@ type Engine struct {
 	// ablation benchmarks to quantify the optimizer.
 	DisablePlanner bool
 
+	// ForceStrategy pins the planner's domain strategy: one of
+	// StrategyScan, StrategyEquality or StrategyStructural ("" lets the
+	// planner choose by estimated cardinality). A forced strategy is
+	// applied where its preconditions hold and degrades to the scan
+	// elsewhere, so results are identical under every setting — which is
+	// exactly what the strategy-parity tests assert.
+	ForceStrategy string
+
 	steps int
+
+	// rootDoc maps each loaded document's root node to its document, so
+	// docForNode is one ancestor walk plus a map hit instead of a sorted
+	// scan over every document name.
+	rootDoc map[*xmldb.Node]*xmldb.Document
 
 	// planCache, when set via SetPlanCache, memoizes Compile results by
 	// query text. Sound without any invalidation: an Expr is a pure
@@ -49,10 +62,24 @@ type Engine struct {
 	// and evaluation never mutates the AST.
 	planCache *cache.Cache[string, Expr]
 
+	// progCache memoizes compiled FLWOR programs (clause order, domain
+	// strategies, conjunct readiness, domain memos) for root-environment
+	// evaluations, keyed by AST identity and the option flags the plan
+	// depends on. Invalidated wholesale by AddDocument. Guarded by evalMu
+	// like all evaluation state.
+	progCache map[progKey]*program
+
 	// evalMu serializes evaluations (see the type comment). It guards
 	// nothing lexically: every field access happens inside evalOne and
 	// below, which run with the lock held via EvalTraced.
 	evalMu sync.Mutex
+	// envArena block-allocates the per-binding environment frames of the
+	// evaluation in flight. Frames never outlive an evaluation (results
+	// carry Items, not environments), so evalOne rewinds the arena and
+	// the next evaluation overwrites the same blocks — the binding
+	// search's biggest allocation source becomes ~free.
+	envArena []env
+	envUsed  int
 	// tr accumulates stage timings for the evaluation in flight; nil
 	// when tracing is off.
 	tr *evalTrace
@@ -66,16 +93,40 @@ func NewEngine() *Engine {
 	return &Engine{
 		docs:     make(map[string]*xmldb.Document),
 		checkers: make(map[string]*mqf.Checker),
+		rootDoc:  make(map[*xmldb.Node]*xmldb.Document),
 	}
 }
 
 // AddDocument registers a document. The first document added becomes the
 // default document (referenced by bare `doc` or a leading "//" path).
+// Replacing a document under the same name publishes the outgoing
+// checker's pending cache statistics first, so short-lived checkers never
+// drop batched counts.
 func (e *Engine) AddDocument(d *xmldb.Document) {
+	if old, ok := e.docs[d.Name]; ok {
+		delete(e.rootDoc, old.Root)
+		if c := e.checkers[d.Name]; c != nil {
+			c.FlushStats()
+		}
+	}
 	e.docs[d.Name] = d
+	e.rootDoc[d.Root] = d
 	e.checkers[d.Name] = mqf.NewChecker(d)
+	// Compiled programs resolve documents, checkers and domain contents
+	// eagerly, so any document change invalidates them all.
+	e.progCache = nil
 	if e.defName == "" {
 		e.defName = d.Name
+	}
+}
+
+// FlushStats publishes every loaded document checker's pending batched
+// mqf cache statistics to the process counters. Call it when abandoning
+// an engine (teardown, corpus reload) so short runs report exact counts.
+func (e *Engine) FlushStats() {
+	//nalixlint:ignore maporder each flush only adds pending counts to monotonic counters, and addition commutes
+	for _, c := range e.checkers {
+		c.FlushStats()
 	}
 }
 
@@ -151,6 +202,7 @@ func (e *Engine) EvalTraced(expr Expr, sp *obs.Span) (Sequence, error) {
 func (e *Engine) evalOne(expr Expr, sp *obs.Span) (Sequence, error) {
 	evalsTotal.Add(1)
 	e.steps = 0
+	e.envUsed = 0 // previous evaluation's frames are dead; reuse them
 	e.tr = nil
 	if sp != nil {
 		e.tr = &evalTrace{}
@@ -179,7 +231,9 @@ func (e *Engine) spend(n int) error {
 	return nil
 }
 
-// env is a linked-list variable environment.
+// env is a linked-list variable environment. Frames come from the
+// engine's arena: they are only valid during the evaluation that created
+// them.
 type env struct {
 	engine *Engine
 	name   string
@@ -187,8 +241,20 @@ type env struct {
 	parent *env
 }
 
+const envArenaBlock = 512
+
 func (v *env) bind(name string, value Sequence) *env {
-	return &env{engine: v.engine, name: name, value: value, parent: v}
+	e := v.engine
+	if e.envUsed == len(e.envArena) {
+		// A fresh block: frames of the previous block stay reachable
+		// through their parent links until the evaluation ends.
+		e.envArena = make([]env, envArenaBlock)
+		e.envUsed = 0
+	}
+	f := &e.envArena[e.envUsed]
+	e.envUsed++
+	*f = env{engine: e, name: name, value: value, parent: v}
+	return f
 }
 
 func (v *env) lookup(name string) (Sequence, bool) {
@@ -327,31 +393,81 @@ func (e *Engine) eval(expr Expr, env *env) (Sequence, error) {
 	}
 }
 
-func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
-	type tuple struct {
-		env     *env
-		keys    []Item
-		docKeys []int
-	}
-	var tuples []tuple
+// progKey identifies a compiled FLWOR program: the AST node plus every
+// engine option the plan depends on (tests flip these between evaluations
+// on one engine, so they must key separate programs).
+type progKey struct {
+	f      *FLWOR
+	force  string
+	noPlan bool
+	noMQF  bool
+}
 
-	// The where clause is split into conjuncts, each evaluated as soon
-	// as its free variables are bound — a semi-join-style pushdown that
-	// prunes the binding search early. mqf() conjuncts additionally
-	// drive candidate generation: a variable joined by mqf to an
-	// already-bound variable ranges only over the structurally related
-	// nodes (see mqf.Checker.RelatedCandidates), not the whole label
-	// domain. This mirrors the structural join optimizations of native
-	// XML engines like the paper's Timber.
+// program is the compiled form of one FLWOR expression: the reordered
+// clause list, per-clause domain strategies, conjunct readiness levels,
+// and cross-evaluation domain memos. A program is valid as long as the
+// engine's document set is unchanged (AddDocument drops the cache).
+type program struct {
+	g         *FLWOR // clauses in evaluation order; shares Where/OrderBy/Return with the source
+	reordered bool
+	conjuncts []Expr
+	plan      *flworPlan // nil when the planner is disabled
+	// readyAt[ci] is the clause index after which conjunct ci's free
+	// variables are all bound: 0 = before any clause (outer vars only),
+	// len(g.Clauses) = only at tuple completion.
+	readyAt []int
+	// envFree[i] reports whether clause i's source references variables —
+	// sources that don't are evaluated once and memoized in domains.
+	envFree []bool
+	domains map[int]Sequence // scan-strategy domains of env-independent sources
+	// eqDomains memoizes equality-pushdown domains whose comparand is a
+	// literal (a bound-variable comparand changes per tuple, so it is
+	// never cached).
+	eqDomains map[int]Sequence
+	// structMemo[i] memoizes clause i's structural-join domain by the
+	// partner nodes that produced it (document order positions identify
+	// nodes within one document).
+	structMemo []map[partnerKey]Sequence
+}
+
+// partnerKey identifies a structural domain by its resolved partner
+// nodes: up to four Pre positions plus the count. Clauses with more
+// partners skip the memo.
+type partnerKey struct {
+	pre [4]int32
+	n   int8
+}
+
+// flworProgram compiles f — splitting conjuncts, ordering clauses,
+// planning domain strategies and conjunct discharge, and computing
+// conjunct readiness — or returns the cached program when f was already
+// compiled under the same option flags. Only root-environment evaluations
+// are cached: an outer binding can shadow plan decisions.
+//
+// The where clause is split into conjuncts, each evaluated as soon as its
+// free variables are bound — a semi-join-style pushdown that prunes the
+// binding search early. mqf() conjuncts additionally drive candidate
+// generation: a variable joined by mqf to an already-bound variable
+// ranges only over the structurally related nodes (see
+// mqf.Checker.RelatedCandidates), not the whole label domain. This
+// mirrors the structural join optimizations of native XML engines like
+// the paper's Timber.
+func (e *Engine) flworProgram(f *FLWOR, env0 *env) *program {
+	cacheable := env0.parent == nil && env0.name == ""
+	var key progKey
+	if cacheable {
+		key = progKey{f: f, force: e.ForceStrategy, noPlan: e.DisablePlanner, noMQF: e.MQFDisabled}
+		if p, ok := e.progCache[key]; ok {
+			return p
+		}
+	}
 	conjuncts := splitConjuncts(f.Where)
 
 	// Clause reordering: bind selective variables first. Unless the
 	// query orders its results explicitly, document order is restored
 	// afterwards from the bindings of the original first for-clauses.
 	clauses := f.Clauses
-	pt0 := e.tr.clock()
 	perm := orderClauses(e, f, env0, conjuncts)
-	e.tr.plan(pt0)
 	reordered := false
 	for i, pi := range perm {
 		if pi != i {
@@ -366,12 +482,15 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 	} else {
 		reordered = false
 	}
-	g := &FLWOR{Clauses: clauses, Where: f.Where, OrderBy: f.OrderBy, Return: f.Return}
-
-	// readyAt[ci] is the clause index after which conjunct ci's free
-	// variables are all bound: 0 = before any clause (outer vars only),
-	// len(Clauses) = only at tuple completion.
-	readyAt := make([]int, len(conjuncts))
+	p := &program{
+		g:         &FLWOR{Clauses: clauses, Where: f.Where, OrderBy: f.OrderBy, Return: f.Return},
+		reordered: reordered,
+		conjuncts: conjuncts,
+	}
+	if !e.DisablePlanner {
+		p.plan = e.planDomains(p.g, env0, conjuncts)
+	}
+	p.readyAt = make([]int, len(conjuncts))
 	for ci, c := range conjuncts {
 		level := 0
 		for _, v := range sortedVars(freeVars(c)) {
@@ -392,25 +511,134 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 				level = len(clauses) // unbound: surfaces an error later
 			}
 		}
-		readyAt[ci] = level
+		p.readyAt[ci] = level
 	}
+	p.envFree = make([]bool, len(clauses))
+	for i, cl := range clauses {
+		p.envFree[i] = len(freeVars(cl.Source)) > 0
+	}
+	p.domains = make(map[int]Sequence)
+	p.eqDomains = make(map[int]Sequence)
+	p.structMemo = make([]map[partnerKey]Sequence, len(clauses))
+	if cacheable {
+		if e.progCache == nil || len(e.progCache) >= 256 {
+			e.progCache = make(map[progKey]*program)
+		}
+		e.progCache[key] = p
+	}
+	return p
+}
 
-	// Cache environment-independent for-domains (paths rooted at a
-	// document) so they are evaluated once, not per outer binding.
-	domainCache := make(map[int]Sequence)
+// evalCond evaluates an expression for its effective boolean value
+// without boxing the result — the conjunct loop calls it once per ready
+// conjunct per branch, so the Sequence{BoolItem{...}} the generic eval
+// would allocate is pure garbage. Comparisons against literals also skip
+// the literal side's sequence allocation.
+func (e *Engine) evalCond(x Expr, cur *env) (bool, error) {
+	switch c := x.(type) {
+	case *Comparison:
+		if lit, ok := literalItem(c.Right); ok {
+			l, err := e.eval(c.Left, cur)
+			if err != nil {
+				return false, err
+			}
+			for _, a := range l {
+				if compareItems(c.Op, a, lit) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		if lit, ok := literalItem(c.Left); ok {
+			r, err := e.eval(c.Right, cur)
+			if err != nil {
+				return false, err
+			}
+			for _, b := range r {
+				if compareItems(c.Op, lit, b) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		l, err := e.eval(c.Left, cur)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.eval(c.Right, cur)
+		if err != nil {
+			return false, err
+		}
+		return generalCompare(c.Op, l, r), nil
+	case *Logical:
+		lv, err := e.evalCond(c.Left, cur)
+		if err != nil {
+			return false, err
+		}
+		if c.Op == OpAnd && !lv {
+			return false, nil
+		}
+		if c.Op == OpOr && lv {
+			return true, nil
+		}
+		return e.evalCond(c.Right, cur)
+	default:
+		w, err := e.eval(x, cur)
+		if err != nil {
+			return false, err
+		}
+		return EffectiveBool(w), nil
+	}
+}
+
+// literalItem converts a literal AST node to its item, bypassing the
+// sequence allocation of the generic eval.
+func literalItem(x Expr) (Item, bool) {
+	switch v := x.(type) {
+	case *StringLit:
+		return StringItem{v.Value}, true
+	case *NumberLit:
+		return NumberItem{v.Value}, true
+	}
+	return nil, false
+}
+
+func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
+	type tuple struct {
+		env     *env
+		keys    []Item
+		docKeys []int
+	}
+	var tuples []tuple
+
+	pt0 := e.tr.clock()
+	prog := e.flworProgram(f, env0)
+	clauses := prog.g.Clauses
+	conjuncts, plan, reordered := prog.conjuncts, prog.plan, prog.reordered
+	if plan != nil && plan.dischargedCount > 0 {
+		mqfDischarged.Add(plan.dischargedCount)
+		e.tr.discharge(plan.dischargedCount)
+	}
+	e.tr.plan(pt0)
+	readyAt := prog.readyAt
 
 	var expand func(i int, cur *env) error
 	expand = func(i int, cur *env) error {
-		// Evaluate every conjunct that becomes ready at this level.
+		// Evaluate every conjunct that becomes ready at this level,
+		// skipping the ones the plan discharged: their truth is already
+		// guaranteed by structural candidate generation.
 		for ci, c := range conjuncts {
 			if readyAt[ci] != i {
 				continue
 			}
-			w, err := e.eval(c, cur)
+			if plan != nil && plan.discharged[ci] {
+				continue
+			}
+			w, err := e.evalCond(c, cur)
 			if err != nil {
 				return err
 			}
-			if !EffectiveBool(w) {
+			if !w {
 				return nil // prune this branch
 			}
 		}
@@ -430,6 +658,7 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 			if reordered && len(f.OrderBy) == 0 {
 				// Document-order restoration keys: the original clause
 				// order's bindings.
+				t.docKeys = make([]int, 0, len(f.Clauses))
 				for _, cl := range f.Clauses {
 					if cl.Kind != ForClause {
 						continue
@@ -457,7 +686,7 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 			return expand(i+1, cur.bind(cl.Var, src))
 		}
 		ft0 := e.tr.clock()
-		src, err := e.forDomain(g, i, cur, env0, conjuncts, domainCache)
+		src, err := e.forDomain(prog, i, cur)
 		e.tr.clause("for", cl.Var, len(src), ft0)
 		if err != nil {
 			return err
@@ -465,8 +694,12 @@ func (e *Engine) evalFLWOR(f *FLWOR, env0 *env) (Sequence, error) {
 		if err := e.spend(len(src)); err != nil {
 			return err
 		}
-		for _, it := range src {
-			if err := expand(i+1, cur.bind(cl.Var, Sequence{it})); err != nil {
+		for j := range src {
+			// Bind a one-item window into the domain slice rather than a
+			// fresh one-item sequence: bindings are read-only, so sharing
+			// the backing array is safe and saves an allocation per
+			// binding.
+			if err := expand(i+1, cur.bind(cl.Var, src[j:j+1:j+1])); err != nil {
 				return err
 			}
 		}
@@ -599,23 +832,15 @@ func (e *Engine) ftIndex(doc *xmldb.Document) *fulltext.Index {
 }
 
 // docForNode finds the loaded document a node belongs to (nil for
-// constructed trees).
+// constructed trees): one walk to the root, one map probe. This sits on
+// the hot path — every mqf() argument and descendant step resolves its
+// document here — so it must not allocate.
 func (e *Engine) docForNode(n *xmldb.Node) *xmldb.Document {
 	root := n
 	for root.Parent != nil {
 		root = root.Parent
 	}
-	var names []string
-	for name := range e.docs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if d := e.docs[name]; d.Root == root {
-			return d
-		}
-	}
-	return nil
+	return e.rootDoc[root]
 }
 
 func collectDescendants(n *xmldb.Node, name string, out *[]*xmldb.Node, seen map[*xmldb.Node]bool) {

@@ -3,8 +3,381 @@ package xquery
 import (
 	"sort"
 
+	"nalix/internal/mqf"
+	"nalix/internal/obs"
 	"nalix/internal/xmldb"
 )
+
+// Per-strategy domain counters: one event per for-clause binding-sequence
+// production, keyed by the strategy that produced it, plus the number of
+// mqf conjuncts statically discharged by structural candidate generation.
+// Together they answer "is the planner actually taking the fast paths"
+// from /metrics without tracing.
+var (
+	domainEquality   = obs.NewCounter("xquery_domain_equality")
+	domainStructural = obs.NewCounter("xquery_domain_structural")
+	domainScan       = obs.NewCounter("xquery_domain_scan")
+	mqfDischarged    = obs.NewCounter("xquery_mqf_discharged")
+)
+
+// domainStrategy is the planner's choice of how to produce a for-clause
+// binding domain.
+type domainStrategy uint8
+
+const (
+	// stratScan evaluates the for-source as written (full label scan for
+	// label domains, generic evaluation otherwise).
+	stratScan domainStrategy = iota
+	// stratEquality answers the domain from the per-label value index,
+	// driven by an equality conjunct against a literal or bound variable.
+	stratEquality
+	// stratStructural prunes the domain to the nodes structurally related
+	// (mqf) to already-bound partner variables, via the holistic
+	// candidate machinery in internal/mqf.
+	stratStructural
+)
+
+// Strategy names accepted by Engine.ForceStrategy and reported by
+// ExplainPlan.
+const (
+	StrategyScan       = "scan"
+	StrategyEquality   = "equality"
+	StrategyStructural = "structural"
+)
+
+func (s domainStrategy) String() string {
+	switch s {
+	case stratEquality:
+		return StrategyEquality
+	case stratStructural:
+		return StrategyStructural
+	default:
+		return StrategyScan
+	}
+}
+
+// scanCardinalityCutoff is the label-domain size below which the planner
+// keeps the plain scan even when a structural join is available: pruning
+// a handful of nodes costs more in index probes than the scan it saves.
+const scanCardinalityCutoff = 8
+
+// clausePlan is the planner's static decision for one FLWOR clause.
+type clausePlan struct {
+	strategy domainStrategy
+	// doc and label are set when the clause ranges over a label domain
+	// (doc//label); nil doc means the generic scan path.
+	doc   *xmldb.Document
+	label string
+	// checker and labelID are resolved once here so the per-tuple
+	// structural path probes integer-keyed memos only — no string
+	// hashing in the binding loops. labelID is -1 when the label does
+	// not occur in the document.
+	checker *mqf.Checker
+	labelID int32
+	// partnerVars are the variables whose bound nodes prune this clause's
+	// domain under the structural strategy: the union of the other
+	// arguments of every mqf conjunct mentioning the clause variable.
+	// Candidates are intersected across all of them.
+	partnerVars []string
+	// guaranteed reports that at least one partner is itself an
+	// earlier for-clause over a label domain of the same document — such
+	// a partner always resolves to a single same-document node at
+	// runtime, so the structural path cannot fall back to a scan.
+	// Conjunct discharge relies on this.
+	guaranteed bool
+}
+
+// flworPlan is the planner's static decision for one FLWOR evaluation:
+// a strategy per clause plus the set of where-conjuncts whose truth is
+// already guaranteed by structural candidate generation.
+type flworPlan struct {
+	clauses []clausePlan
+	// discharged[ci] marks mqf conjuncts that never need per-tuple
+	// evaluation: every argument after the first (in clause-binding
+	// order) ranges over a structurally pruned domain filtered against
+	// all earlier arguments, so every pair the conjunct would check has
+	// already been verified during candidate generation.
+	discharged []bool
+	// dischargedCount is the number of true entries in discharged.
+	dischargedCount int64
+}
+
+// planDomains computes the domain strategy for every clause of f (already
+// in its final evaluation order) and the set of dischargeable mqf
+// conjuncts. It is purely static: no domains are evaluated.
+func (e *Engine) planDomains(f *FLWOR, env0 *env, conjuncts []Expr) *flworPlan {
+	plan := &flworPlan{
+		clauses:    make([]clausePlan, len(f.Clauses)),
+		discharged: make([]bool, len(conjuncts)),
+	}
+	// clauseOf maps every clause-bound variable (for and let) to its
+	// clause index. A variable bound twice makes static reasoning about
+	// "which binding does a conjunct see" unsafe, so the planner then
+	// stays on the legacy dynamic paths.
+	clauseOf := make(map[string]int, len(f.Clauses))
+	dup := false
+	for i, cl := range f.Clauses {
+		if _, ok := clauseOf[cl.Var]; ok {
+			dup = true
+		}
+		clauseOf[cl.Var] = i
+	}
+	for i, cl := range f.Clauses {
+		cp := &plan.clauses[i]
+		if cl.Kind != ForClause {
+			continue
+		}
+		doc, label, ok := e.labelDomain(cl.Source)
+		if !ok {
+			continue
+		}
+		cp.doc, cp.label = doc, label
+		cp.checker = e.checkers[doc.Name]
+		cp.labelID = cp.checker.LabelID(label)
+		if !e.MQFDisabled && !dup {
+			seen := map[string]bool{}
+			for _, c := range conjuncts {
+				call, isCall := c.(*FuncCall)
+				if !isCall || call.Name != "mqf" || !mentionsVar(call, cl.Var) {
+					continue
+				}
+				for _, a := range call.Args {
+					v, okv := a.(*VarRef)
+					if !okv || v.Name == cl.Var || seen[v.Name] {
+						continue
+					}
+					if j, isClause := clauseOf[v.Name]; isClause {
+						if j >= i {
+							// Binds later in this FLWOR: at this clause's
+							// binding time a lookup could only see an outer
+							// shadow, and pruning by that value would be
+							// wrong. Skip it.
+							continue
+						}
+						jc := f.Clauses[j]
+						if jc.Kind == ForClause {
+							if d2, _, ok2 := e.labelDomain(jc.Source); ok2 && d2 == doc {
+								cp.guaranteed = true
+							}
+						}
+					}
+					seen[v.Name] = true
+					cp.partnerVars = append(cp.partnerVars, v.Name)
+				}
+			}
+		}
+		hasEq := hasEqualityConjunct(conjuncts, cl.Var)
+		switch {
+		case e.ForceStrategy == StrategyScan:
+			cp.strategy = stratScan
+			cp.partnerVars = nil
+		case e.ForceStrategy == StrategyEquality:
+			cp.strategy = stratScan
+			if hasEq {
+				cp.strategy = stratEquality
+			}
+			cp.partnerVars = nil
+		case e.ForceStrategy == StrategyStructural:
+			cp.strategy = stratScan
+			if len(cp.partnerVars) > 0 {
+				cp.strategy = stratStructural
+			}
+		case hasEq:
+			cp.strategy = stratEquality
+		case len(cp.partnerVars) > 0 && doc.LabelCount(label) > scanCardinalityCutoff:
+			cp.strategy = stratStructural
+		default:
+			cp.strategy = stratScan
+		}
+	}
+	if e.MQFDisabled || dup {
+		return plan
+	}
+	// Conjunct discharge: mqf($a, $b, ...) needs no per-tuple evaluation
+	// when every argument is a for-variable over a label domain of one
+	// shared document and every argument after the first (in binding
+	// order) is produced by the structural strategy — candidate
+	// generation then filters each binding against all earlier arguments,
+	// so every pair the conjunct would test is verified inductively
+	// before the tuple exists.
+	for ci, c := range conjuncts {
+		call, isCall := c.(*FuncCall)
+		if !isCall || call.Name != "mqf" {
+			continue
+		}
+		argIdx := make([]int, 0, len(call.Args))
+		seen := map[string]bool{}
+		var doc *xmldb.Document
+		okAll := true
+		for _, a := range call.Args {
+			v, isVar := a.(*VarRef)
+			if !isVar {
+				okAll = false
+				break
+			}
+			if seen[v.Name] {
+				continue
+			}
+			seen[v.Name] = true
+			if _, shadowed := env0.lookup(v.Name); shadowed {
+				// Also bound outside the FLWOR: conjunct readiness could
+				// see the outer value, so stay on per-tuple evaluation.
+				okAll = false
+				break
+			}
+			j, isClause := clauseOf[v.Name]
+			if !isClause || f.Clauses[j].Kind != ForClause {
+				okAll = false
+				break
+			}
+			cpj := &plan.clauses[j]
+			if cpj.doc == nil {
+				okAll = false
+				break
+			}
+			if doc == nil {
+				doc = cpj.doc
+			} else if doc != cpj.doc {
+				okAll = false
+				break
+			}
+			argIdx = append(argIdx, j)
+		}
+		if !okAll || len(argIdx) == 0 {
+			continue
+		}
+		sort.Ints(argIdx)
+		for k := 1; k < len(argIdx); k++ {
+			cpk := &plan.clauses[argIdx[k]]
+			if cpk.strategy != stratStructural || !cpk.guaranteed {
+				okAll = false
+				break
+			}
+		}
+		if okAll {
+			plan.discharged[ci] = true
+			plan.dischargedCount++
+		}
+	}
+	return plan
+}
+
+// PlanInfo describes the planner's decision for one for-clause.
+type PlanInfo struct {
+	Var      string
+	Label    string   // label-domain label; empty for generic sources
+	Strategy string   // "scan", "equality" or "structural"
+	Partners []string // variables whose bindings prune this domain
+	// Cardinality is the label-index size the strategy choice was based
+	// on (0 for generic sources).
+	Cardinality int
+}
+
+// PlanReport is the static evaluation plan for a FLWOR expression: the
+// clause order and per-clause domain strategies the evaluator will use,
+// plus how many mqf conjuncts are discharged by candidate generation.
+type PlanReport struct {
+	Reordered  bool
+	Clauses    []PlanInfo
+	MQF        int // mqf conjuncts in the where clause
+	Discharged int // of which this many need no per-tuple evaluation
+}
+
+// ExplainPlan reports the plan the evaluator would follow for expr
+// without evaluating it: nil when expr is not a FLWOR. It respects
+// DisablePlanner and ForceStrategy, so it prints exactly what an Eval of
+// the same expression would do.
+func (e *Engine) ExplainPlan(expr Expr) *PlanReport {
+	f, ok := expr.(*FLWOR)
+	if !ok {
+		return nil
+	}
+	env0 := &env{engine: e}
+	conjuncts := splitConjuncts(f.Where)
+	rep := &PlanReport{}
+	clauses := f.Clauses
+	if !e.DisablePlanner {
+		perm := orderClauses(e, f, env0, conjuncts)
+		for i, pi := range perm {
+			if pi != i {
+				rep.Reordered = true
+			}
+		}
+		if rep.Reordered {
+			clauses = make([]Clause, len(perm))
+			for i, pi := range perm {
+				clauses[i] = f.Clauses[pi]
+			}
+		}
+	}
+	g := &FLWOR{Clauses: clauses, Where: f.Where, OrderBy: f.OrderBy, Return: f.Return}
+	var plan *flworPlan
+	if !e.DisablePlanner {
+		plan = e.planDomains(g, env0, conjuncts)
+	}
+	for i, cl := range clauses {
+		if cl.Kind != ForClause {
+			continue
+		}
+		pi := PlanInfo{Var: cl.Var, Strategy: StrategyScan}
+		if plan != nil {
+			cp := &plan.clauses[i]
+			pi.Strategy = cp.strategy.String()
+			pi.Label = cp.label
+			pi.Partners = cp.partnerVars
+			if cp.doc != nil {
+				pi.Cardinality = cp.doc.LabelCount(cp.label)
+			}
+		}
+		rep.Clauses = append(rep.Clauses, pi)
+	}
+	for ci, c := range conjuncts {
+		if call, isCall := c.(*FuncCall); isCall && call.Name == "mqf" {
+			rep.MQF++
+			if plan != nil && plan.discharged[ci] {
+				rep.Discharged++
+			}
+		}
+	}
+	return rep
+}
+
+// mentionsVar reports whether any argument of the call is a reference to
+// the given variable.
+func mentionsVar(call *FuncCall, varName string) bool {
+	for _, a := range call.Args {
+		if v, ok := a.(*VarRef); ok && v.Name == varName {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEqualityConjunct reports whether some conjunct equates varName with
+// a literal or another variable — the static trigger for the equality
+// pushdown strategy (the runtime lookup may still fail for an unbound or
+// non-singleton comparand, in which case the clause falls back).
+func hasEqualityConjunct(conjuncts []Expr, varName string) bool {
+	for _, c := range conjuncts {
+		cmp, ok := c.(*Comparison)
+		if !ok || cmp.Op != OpEq {
+			continue
+		}
+		var other Expr
+		if v, isVar := cmp.Left.(*VarRef); isVar && v.Name == varName {
+			other = cmp.Right
+		} else if v, isVar := cmp.Right.(*VarRef); isVar && v.Name == varName {
+			other = cmp.Left
+		} else {
+			continue
+		}
+		switch other.(type) {
+		case *StringLit, *NumberLit, *VarRef:
+			return true
+		}
+	}
+	return false
+}
 
 // splitConjuncts flattens a where expression into and-connected conjuncts.
 func splitConjuncts(e Expr) []Expr {
@@ -125,10 +498,13 @@ func (e *Engine) labelDomain(src Expr) (*xmldb.Document, string, bool) {
 // found. The equality conjunct itself is still evaluated afterwards, so
 // this is purely a (sound and complete) domain restriction: the index
 // returns exactly the label nodes with the matching normalized value.
-func (e *Engine) equalityCandidates(doc *xmldb.Document, label, varName string, cur *env, conjuncts []Expr) (Sequence, bool) {
+// literal reports whether the comparand was a literal — such a domain is
+// the same for every tuple and every evaluation, so the caller may
+// memoize it.
+func (e *Engine) equalityCandidates(doc *xmldb.Document, label, varName string, cur *env, conjuncts []Expr) (out Sequence, literal, ok bool) {
 	for _, c := range conjuncts {
-		cmp, ok := c.(*Comparison)
-		if !ok || cmp.Op != OpEq {
+		cmp, isCmp := c.(*Comparison)
+		if !isCmp || cmp.Op != OpEq {
 			continue
 		}
 		var other Expr
@@ -140,6 +516,7 @@ func (e *Engine) equalityCandidates(doc *xmldb.Document, label, varName string, 
 			continue
 		}
 		var value string
+		lit := true
 		switch o := other.(type) {
 		case *StringLit:
 			value = o.Value
@@ -151,6 +528,7 @@ func (e *Engine) equalityCandidates(doc *xmldb.Document, label, varName string, 
 				continue
 			}
 			value = AtomizeItem(val[0])
+			lit = false
 		default:
 			continue
 		}
@@ -159,9 +537,9 @@ func (e *Engine) equalityCandidates(doc *xmldb.Document, label, varName string, 
 		for _, n := range nodes {
 			out = append(out, NodeItem{n})
 		}
-		return out, true
+		return out, lit, true
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // orderClauses computes an evaluation order for the FLWOR clauses: a
@@ -317,84 +695,152 @@ func isLiteral(e Expr) bool {
 	return false
 }
 
-// forDomain produces the binding sequence for for-clause i, using mqf()
-// conjuncts to prune the domain to nodes structurally related to already
-// bound variables. Falls back to plain evaluation (with caching for
-// environment-independent sources).
-func (e *Engine) forDomain(f *FLWOR, i int, cur *env, env0 *env, conjuncts []Expr, cache map[int]Sequence) (Sequence, error) {
-	cl := f.Clauses[i]
-	if e.DisablePlanner {
+// forDomain produces the binding sequence for for-clause i, following the
+// program's strategy: equality pushdown from the value index, structural
+// pruning to nodes meaningfully related to already-bound partners, or the
+// plain scan (with caching for environment-independent sources). A
+// strategy whose runtime preconditions fail (unbound comparand,
+// no resolvable partner) falls through to the next cheaper one, so the
+// result is the same binding domain the scan would produce, filtered.
+func (e *Engine) forDomain(prog *program, i int, cur *env) (Sequence, error) {
+	cl := prog.g.Clauses[i]
+	plan := prog.plan
+	if e.DisablePlanner || plan == nil {
 		return e.eval(cl.Source, cur)
 	}
-	doc, label, ok := e.labelDomain(cl.Source)
-	if ok {
+	cp := &plan.clauses[i]
+	if cp.strategy == stratEquality {
 		// Equality pushdown: a conjunct $x = <constant or bound var>
-		// turns the domain scan into a value-index lookup.
-		if seq, hit := e.equalityCandidates(doc, label, cl.Var, cur, conjuncts); hit {
+		// turns the domain scan into a value-index lookup. Literal
+		// comparands give the same domain every tuple, so it is memoized
+		// on the program.
+		if seq, hit := prog.eqDomains[i]; hit {
+			domainEquality.Add(1)
+			e.tr.domain(stratEquality)
+			return seq, nil
+		}
+		if seq, literal, hit := e.equalityCandidates(cp.doc, cp.label, cl.Var, cur, prog.conjuncts); hit {
+			if literal {
+				prog.eqDomains[i] = seq
+			}
+			domainEquality.Add(1)
+			e.tr.domain(stratEquality)
 			return seq, nil
 		}
 	}
-	if ok && !e.MQFDisabled {
-		// Find an mqf conjunct joining cl.Var with an already-bound
-		// variable holding a node of the same document.
-		checker := e.checkers[doc.Name]
-		var partners []*xmldb.Node
-		for _, c := range conjuncts {
-			call, isCall := c.(*FuncCall)
-			if !isCall || call.Name != "mqf" {
-				continue
-			}
-			mentions := false
-			var bound []*xmldb.Node
-			for _, a := range call.Args {
-				v, isVar := a.(*VarRef)
-				if !isVar {
-					continue
-				}
-				if v.Name == cl.Var {
-					mentions = true
-					continue
-				}
-				if val, okv := cur.lookup(v.Name); okv && len(val) == 1 {
-					if ni, okn := val[0].(NodeItem); okn && e.docForNode(ni.Node) == doc {
-						bound = append(bound, ni.Node)
-					}
-				}
-			}
-			if mentions && len(bound) > 0 {
-				partners = bound
-				break
-			}
-		}
-		if len(partners) > 0 {
-			cands := checker.RelatedCandidates(partners[0], label)
-			var out Sequence
-			for _, cand := range cands {
-				ok := true
-				for _, p := range partners[1:] {
-					if !checker.Related(p, cand) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					out = append(out, NodeItem{cand})
-				}
-			}
+	if (cp.strategy == stratEquality || cp.strategy == stratStructural) &&
+		len(cp.partnerVars) > 0 && !e.MQFDisabled {
+		if out, ok := e.structuralDomain(prog, i, cp, cur); ok {
+			domainStructural.Add(1)
+			e.tr.domain(stratStructural)
 			return out, nil
 		}
 	}
+	domainScan.Add(1)
+	e.tr.domain(stratScan)
 	// Environment-independent source: evaluate once and cache.
-	if len(freeVars(cl.Source)) == 0 {
-		if seq, ok := cache[i]; ok {
+	if !prog.envFree[i] {
+		if seq, ok := prog.domains[i]; ok {
 			return seq, nil
 		}
 		seq, err := e.eval(cl.Source, cur)
 		if err != nil {
 			return nil, err
 		}
-		cache[i] = seq
+		prog.domains[i] = seq
 		return seq, nil
 	}
 	return e.eval(cl.Source, cur)
+}
+
+// structMemoCap bounds each clause's structural-domain memo; an eviction
+// (full clear) at the cap keeps memory proportional to the working set of
+// one query shape rather than the whole binding space.
+const structMemoCap = 1 << 15
+
+// structuralDomain produces clause i's binding domain from the
+// structural join: the label nodes meaningfully related to every
+// resolvable partner variable. Each partner's memoized candidate stream
+// is Pre-sorted, and a node is related to a partner exactly when it
+// appears in that partner's stream — so the intersection is a k-pointer
+// sorted merge seeded from the smallest stream, with no per-candidate
+// relatedness checks. A variable joined by several mqf conjuncts is
+// therefore pruned by all of them, not just the first. The result is
+// memoized on the program keyed by the resolved partner nodes — the
+// domain is a pure function of them. Returns ok=false when no partner
+// resolves to a single same-document node (the caller then falls back to
+// the scan) or the clause label is absent.
+func (e *Engine) structuralDomain(prog *program, i int, cp *clausePlan, cur *env) (Sequence, bool) {
+	if cp.labelID < 0 {
+		return nil, false
+	}
+	var nodeBuf [4]*xmldb.Node
+	nodes := nodeBuf[:0]
+	for _, name := range cp.partnerVars {
+		if val, ok := cur.lookup(name); ok && len(val) == 1 {
+			if ni, okn := val[0].(NodeItem); okn && e.docForNode(ni.Node) == cp.doc {
+				nodes = append(nodes, ni.Node)
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	var key partnerKey
+	useMemo := len(nodes) <= len(key.pre)
+	if useMemo {
+		key.n = int8(len(nodes))
+		for k, n := range nodes {
+			key.pre[k] = int32(n.Pre)
+		}
+		if seq, ok := prog.structMemo[i][key]; ok {
+			return seq, true
+		}
+	}
+	var streamBuf [4][]*xmldb.Node
+	streams := streamBuf[:0]
+	for _, n := range nodes {
+		streams = append(streams, cp.checker.RelatedCandidatesByID(n, cp.labelID))
+	}
+	seed, seedIdx := streams[0], 0
+	for k := 1; k < len(streams); k++ {
+		if len(streams[k]) < len(seed) {
+			seed, seedIdx = streams[k], k
+		}
+	}
+	out := make(Sequence, 0, len(seed))
+	var idxBuf [4]int
+	idx := idxBuf[:]
+	if len(streams) > len(idxBuf) {
+		idx = make([]int, len(streams))
+	}
+	for _, cand := range seed {
+		match := true
+		for k := range streams {
+			if k == seedIdx {
+				continue
+			}
+			s, j := streams[k], idx[k]
+			for j < len(s) && s[j].Pre < cand.Pre {
+				j++
+			}
+			idx[k] = j
+			if j >= len(s) || s[j].Pre != cand.Pre {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, NodeItem{cand})
+		}
+	}
+	if useMemo {
+		m := prog.structMemo[i]
+		if m == nil || len(m) >= structMemoCap {
+			m = make(map[partnerKey]Sequence)
+			prog.structMemo[i] = m
+		}
+		m[key] = out
+	}
+	return out, true
 }

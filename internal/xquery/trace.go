@@ -22,6 +22,14 @@ type evalTrace struct {
 	mqfNS    int64
 	mqfCalls int64
 	mqfPairs int64
+
+	// Per-strategy domain production counts and the number of mqf
+	// conjuncts the plan discharged, rendered as attributes of the plan
+	// child span.
+	domEq      int64
+	domStruct  int64
+	domScan    int64
+	discharged int64
 }
 
 // clauseStat aggregates one FLWOR clause's domain work across every
@@ -70,6 +78,30 @@ func (t *evalTrace) clause(kind, varName string, n int, t0 time.Time) {
 	})
 }
 
+// domain records one for-clause binding-sequence production under the
+// given strategy.
+func (t *evalTrace) domain(s domainStrategy) {
+	if t == nil {
+		return
+	}
+	switch s {
+	case stratEquality:
+		t.domEq++
+	case stratStructural:
+		t.domStruct++
+	default:
+		t.domScan++
+	}
+}
+
+// discharge records n mqf conjuncts skipped by the plan.
+func (t *evalTrace) discharge(n int64) {
+	if t == nil {
+		return
+	}
+	t.discharged += n
+}
+
 // mqf charges one mqf() predicate evaluation that examined the given
 // number of node pairs.
 func (t *evalTrace) mqf(pairs int64, t0 time.Time) {
@@ -87,7 +119,19 @@ func (t *evalTrace) flush(sp *obs.Span) {
 	if t == nil || sp == nil {
 		return
 	}
-	sp.AddChild("plan", time.Duration(t.planNS))
+	pc := sp.AddChild("plan", time.Duration(t.planNS))
+	if t.domEq > 0 {
+		pc.SetInt("equality", t.domEq)
+	}
+	if t.domStruct > 0 {
+		pc.SetInt("structural", t.domStruct)
+	}
+	if t.domScan > 0 {
+		pc.SetInt("scan", t.domScan)
+	}
+	if t.discharged > 0 {
+		pc.SetInt("discharged", t.discharged)
+	}
 	for _, c := range t.clauses {
 		ch := sp.AddChild(c.kind, time.Duration(c.ns))
 		ch.Set("var", c.varName)

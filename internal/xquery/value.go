@@ -72,6 +72,21 @@ func numericValue(it Item) (float64, bool) {
 		return 0, true
 	default:
 		s := strings.TrimSpace(AtomizeItem(it))
+		// ParseFloat allocates its error value, and most text values are
+		// not numbers; reject strings that cannot start a float without
+		// calling it. Every float ParseFloat accepts starts with a digit,
+		// sign, dot, or inf/NaN letter, so the filter never changes the
+		// outcome.
+		if len(s) == 0 {
+			return 0, false
+		}
+		switch c := s[0]; {
+		case c >= '0' && c <= '9':
+		case c == '+' || c == '-' || c == '.':
+		case c == 'i' || c == 'I' || c == 'n' || c == 'N':
+		default:
+			return 0, false
+		}
 		f, err := strconv.ParseFloat(s, 64)
 		return f, err == nil
 	}

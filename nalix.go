@@ -200,6 +200,17 @@ func (e *Engine) addDoc(doc *xmldb.Document) {
 	}
 }
 
+// Close publishes any pending batched statistics — the mqf relatedness
+// cache's sub-threshold hit/miss counts — to the process counters. An
+// Engine holds no other releasable resources, so Close never fails and
+// the Engine remains usable; call it when discarding a short-lived
+// engine whose batches would otherwise never reach /metrics. Loading a
+// document over an existing name flushes the replaced document's counts
+// automatically.
+func (e *Engine) Close() {
+	e.xq.FlushStats()
+}
+
 // AddSynonyms extends the term-expansion ontology with a group of
 // domain-specific synonyms (all terms in the group become synonyms of one
 // another), the paper's hook for domain ontologies.

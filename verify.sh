@@ -21,6 +21,6 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # (BENCH_cache.json) keep the cached path an order of magnitude faster
 # than a cold ask.
 BENCHOUT="$(mktemp)"
-go test -run '^$' -bench 'BenchmarkAsk$|BenchmarkAskCached$|BenchmarkEvalStage$' -benchtime 100x -count 5 . >"$BENCHOUT"
+go test -run '^$' -bench 'BenchmarkAsk$|BenchmarkAskCached$|BenchmarkEvalStage$|BenchmarkEvalStageScale$' -benchtime 100x -count 5 . >"$BENCHOUT"
 go run ./cmd/benchguard "$BENCHOUT"
 rm -f "$BENCHOUT"
