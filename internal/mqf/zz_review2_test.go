@@ -1,0 +1,69 @@
+package mqf
+
+import (
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+// Reference Groups: brute force all tuples with pairwise Related.
+func refGroups(c *Checker, labels ...string) [][]int {
+	var cands [][]*xmldb.Node
+	for _, l := range labels {
+		ns := c.doc.NodesByLabel(l)
+		if len(ns) == 0 {
+			return nil
+		}
+		cands = append(cands, ns)
+	}
+	var out [][]int
+	chosen := make([]*xmldb.Node, 0, len(labels))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(labels) {
+			ids := make([]int, len(chosen))
+			for k, n := range chosen {
+				ids[k] = n.ID
+			}
+			out = append(out, ids)
+			return
+		}
+	next:
+		for _, cand := range cands[i] {
+			for _, prev := range chosen {
+				if !c.Related(prev, cand) {
+					continue next
+				}
+			}
+			chosen = append(chosen, cand)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestReviewGroupsVsReference(t *testing.T) {
+	doc, err := xmldb.ParseString("d", `<root><C><A><C/><B/></A></C><x/><y/><z/></root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(doc)
+	got := c.Groups("A", "B", "C")
+	want := refGroups(c, "A", "B", "C")
+	t.Logf("got %d groups, reference %d", len(got), len(want))
+	for _, g := range got {
+		ids := []int{}
+		for _, n := range g.Nodes {
+			ids = append(ids, n.ID)
+		}
+		t.Logf("  got: %v", ids)
+	}
+	for _, w := range want {
+		t.Logf("  want: %v", w)
+	}
+	if len(got) != len(want) {
+		t.Errorf("Groups incomplete: got %d want %d", len(got), len(want))
+	}
+}
