@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nalix/internal/core"
 	"nalix/internal/dataset"
@@ -157,15 +158,27 @@ func BenchmarkEndToEndAsk(b *testing.B) {
 // untraced run is the zero-overhead contract of the observability layer:
 // it must stay within noise of the pre-instrumentation baseline, since
 // disabled tracing threads only nil spans (no-ops) through the pipeline.
-// Headline numbers live in BENCH_obs.json.
+// The sampled run adds a tail-based retention policy on top of tracing:
+// the trace is still built, but the policy drops most of them after
+// completion, so the only extra work per ask is the retention decision
+// itself. BENCH_obs.json gates sampled within 5% of traced via a
+// benchguard ratio entry. Headline numbers live in BENCH_obs.json.
 func BenchmarkAsk(b *testing.B) {
-	run := func(b *testing.B, traced bool) {
+	run := func(b *testing.B, traced, sampled bool) {
 		e := New()
 		if err := e.LoadXMLString("bib.xml", bibXML); err != nil {
 			b.Fatal(err)
 		}
 		if traced {
 			e.EnableTracing(4)
+		}
+		if sampled {
+			e.SetTracePolicy(&TracePolicy{
+				KeepErrors:   true,
+				KeepRejected: true,
+				MinLatency:   time.Hour,
+				SampleEvery:  20,
+			})
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -175,8 +188,9 @@ func BenchmarkAsk(b *testing.B) {
 			}
 		}
 	}
-	b.Run("untraced", func(b *testing.B) { run(b, false) })
-	b.Run("traced", func(b *testing.B) { run(b, true) })
+	b.Run("untraced", func(b *testing.B) { run(b, false, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true, false) })
+	b.Run("sampled", func(b *testing.B) { run(b, true, true) })
 }
 
 // BenchmarkAskCached measures the layered query cache on the full Ask

@@ -10,7 +10,11 @@
 // Baselines are the `benchmarks` arrays of every BENCH_*.json in the
 // repository root ({"name": "BenchmarkAsk/untraced", "ns_per_op": N});
 // baseline files without that array (e.g. BENCH_serve.json, which holds
-// load-generator percentiles) are skipped. Measurements take the MIN
+// load-generator percentiles) are skipped. A baseline file may also
+// carry a `ratios` array ({"name": A, "other": B, "max_ratio": 1.05})
+// pairing two benchmarks from the same run: A's ns/op must stay within
+// max_ratio of B's, a machine-independent relative-overhead gate.
+// Measurements take the MIN
 // ns/op across -count repetitions — the least-noise estimate of the
 // code's true cost — and the `-N` GOMAXPROCS suffix is stripped so
 // baselines are portable across machines.
@@ -45,12 +49,21 @@ func main() {
 
 // baselineFile is the subset of the BENCH_*.json schema benchguard
 // reads; files whose Benchmarks array is empty carry no guarded
-// baselines and are skipped.
+// baselines and are skipped. The optional Ratios array pairs two
+// benchmarks measured in the same run: measured[name]/measured[other]
+// must stay at or under max_ratio. Ratio gates guard relative overhead
+// (e.g. the sampled ask path within 5% of the traced one) and are
+// machine-independent, since both sides come from the same run.
 type baselineFile struct {
 	Benchmarks []struct {
 		Name    string  `json:"name"`
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"benchmarks"`
+	Ratios []struct {
+		Name     string  `json:"name"`
+		Other    string  `json:"other"`
+		MaxRatio float64 `json:"max_ratio"`
+	} `json:"ratios"`
 }
 
 // baseline is one guarded benchmark with its provenance.
@@ -60,11 +73,19 @@ type baseline struct {
 	file    string
 }
 
+// ratioGate is one guarded benchmark pair with its provenance.
+type ratioGate struct {
+	name     string
+	other    string
+	maxRatio float64
+	file     string
+}
+
 func run(threshold float64, glob string, outFiles []string) error {
 	if threshold <= 1 {
 		return fmt.Errorf("-threshold must be > 1, got %v", threshold)
 	}
-	baselines, err := loadBaselines(glob)
+	baselines, ratios, err := loadBaselines(glob)
 	if err != nil {
 		return err
 	}
@@ -103,6 +124,25 @@ func run(threshold float64, glob string, outFiles []string) error {
 		fmt.Printf("benchguard: %-40s %10.0f ns/op  baseline %10.0f  %5.2fx  %s\n",
 			b.name, got, b.nsPerOp, ratio, verdict)
 	}
+	for _, g := range ratios {
+		got, ok := measured[g.name]
+		other, okOther := measured[g.other]
+		if !ok || !okOther {
+			regressions = append(regressions,
+				fmt.Sprintf("%s vs %s: missing measurement for the ratio gate (%s)", g.name, g.other, g.file))
+			continue
+		}
+		ratio := got / other
+		verdict := "ok"
+		if ratio > g.maxRatio {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op is %.3fx of %s (%.0f ns/op), > %.3fx allowed (%s)",
+					g.name, got, ratio, g.other, other, g.maxRatio, g.file))
+		}
+		fmt.Printf("benchguard: %-40s %5.3fx of %s (max %.3fx)  %s\n",
+			g.name, ratio, g.other, g.maxRatio, verdict)
+	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) failed the guard:\n  %s",
 			len(regressions), strings.Join(regressions, "\n  "))
@@ -110,33 +150,42 @@ func run(threshold float64, glob string, outFiles []string) error {
 	return nil
 }
 
-// loadBaselines collects the guarded benchmarks from every baseline
-// file matching the glob, sorted by name for deterministic reporting.
-func loadBaselines(glob string) ([]baseline, error) {
+// loadBaselines collects the guarded benchmarks and ratio gates from
+// every baseline file matching the glob, sorted by name for
+// deterministic reporting.
+func loadBaselines(glob string) ([]baseline, []ratioGate, error) {
 	files, err := filepath.Glob(glob)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sort.Strings(files)
 	var out []baseline
+	var gates []ratioGate
 	for _, f := range files {
 		raw, err := os.ReadFile(f)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var bf baselineFile
 		if err := json.Unmarshal(raw, &bf); err != nil {
-			return nil, fmt.Errorf("%s: %w", f, err)
+			return nil, nil, fmt.Errorf("%s: %w", f, err)
 		}
 		for _, b := range bf.Benchmarks {
 			if b.Name == "" || b.NsPerOp <= 0 {
-				return nil, fmt.Errorf("%s: malformed baseline entry %+v", f, b)
+				return nil, nil, fmt.Errorf("%s: malformed baseline entry %+v", f, b)
 			}
 			out = append(out, baseline{name: b.Name, nsPerOp: b.NsPerOp, file: f})
 		}
+		for _, g := range bf.Ratios {
+			if g.Name == "" || g.Other == "" || g.MaxRatio <= 0 {
+				return nil, nil, fmt.Errorf("%s: malformed ratio entry %+v", f, g)
+			}
+			gates = append(gates, ratioGate{name: g.Name, other: g.Other, maxRatio: g.MaxRatio, file: f})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out, nil
+	sort.Slice(gates, func(i, j int) bool { return gates[i].name < gates[j].name })
+	return out, gates, nil
 }
 
 // procSuffix matches the -GOMAXPROCS suffix go test appends to

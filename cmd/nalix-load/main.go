@@ -6,9 +6,13 @@
 //
 //	go run ./cmd/nalix-load -self -n 500 -c 8 -out BENCH_serve.json
 //	go run ./cmd/nalix-load -url http://localhost:8080 -endpoint ask -n 1000
+//	go run ./cmd/nalix-load -self -n 2000 -c 16 -slo-report
 //
 // The request schema is internal/server.Request and responses are
 // internal/server.Response — the same shapes `nalix -json` emits.
+// -slo-report fetches /slo after the run and embeds the burn-rate
+// report in the result (a -self server declares a default objective for
+// the driven endpoint; repeat -slo to declare others).
 package main
 
 import (
@@ -29,9 +33,30 @@ import (
 	"nalix"
 	"nalix/internal/dataset"
 	"nalix/internal/obs"
+	"nalix/internal/obs/slo"
 	"nalix/internal/server"
 	"nalix/internal/xmldb"
 )
+
+// objectiveFlags is a repeatable -slo flag for the -self server.
+type objectiveFlags []slo.Objective
+
+func (o *objectiveFlags) String() string {
+	var parts []string
+	for _, obj := range *o {
+		parts = append(parts, obj.Name)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (o *objectiveFlags) Set(s string) error {
+	obj, err := slo.ParseObjective(s)
+	if err != nil {
+		return err
+	}
+	*o = append(*o, obj)
+	return nil
+}
 
 func main() {
 	url := flag.String("url", "", "base URL of a running nalix-serve (empty with -self)")
@@ -45,9 +70,13 @@ func main() {
 	c := flag.Int("c", 8, "concurrent clients")
 	out := flag.String("out", "", "write the result JSON to this file (empty prints to stdout)")
 	nocache := flag.Bool("nocache", false, "disable the layered query cache in the -self server's engines")
+	sample := flag.Bool("sample", false, "enable tail-based trace sampling in the -self server (defaults as in nalix-serve)")
+	sloReport := flag.Bool("slo-report", false, "fetch /slo after the run and embed the burn-rate report in the result")
+	var objectives objectiveFlags
+	flag.Var(&objectives, "slo", "objective for the -self server, name:availability[:latency] (repeatable; default <endpoint>:99:250ms with -slo-report)")
 	flag.Parse()
 
-	if err := run(*url, *self, *corpus, *sessions, *endpoint, *question, *document, *n, *c, *out, *nocache); err != nil {
+	if err := run(*url, *self, *corpus, *sessions, *endpoint, *question, *document, *n, *c, *out, *nocache, *sample, *sloReport, objectives); err != nil {
 		fmt.Fprintln(os.Stderr, "nalix-load:", err)
 		os.Exit(1)
 	}
@@ -66,6 +95,9 @@ type result struct {
 	LatencyUs   latency `json:"latency_us"`
 	RPS         float64 `json:"throughput_rps"`
 	Note        string  `json:"note,omitempty"`
+	// SLO embeds the server's /slo burn-rate report when -slo-report is
+	// set: the multi-window burn rates the run produced.
+	SLO json.RawMessage `json:"slo,omitempty"`
 }
 
 type latency struct {
@@ -77,7 +109,7 @@ type latency struct {
 	Mean float64 `json:"mean"`
 }
 
-func run(url string, self bool, corpus string, sessions int, endpoint, question, document string, n, c int, out string, nocache bool) error {
+func run(url string, self bool, corpus string, sessions int, endpoint, question, document string, n, c int, out string, nocache, sample, sloReport bool, objectives []slo.Objective) error {
 	if (url == "") == !self {
 		return fmt.Errorf("exactly one of -url or -self is required")
 	}
@@ -92,7 +124,16 @@ func run(url string, self bool, corpus string, sessions int, endpoint, question,
 		Concurrency: c,
 	}
 	if self {
-		ts, err := selfServer(corpus, sessions, nocache)
+		if sloReport && len(objectives) == 0 {
+			// A default objective for the driven endpoint, so the report
+			// always has burn rates to show.
+			obj, err := slo.ParseObjective(endpoint + ":99:250ms")
+			if err != nil {
+				return err
+			}
+			objectives = append(objectives, obj)
+		}
+		ts, err := selfServer(corpus, sessions, nocache, sample, objectives)
 		if err != nil {
 			return err
 		}
@@ -100,6 +141,12 @@ func run(url string, self bool, corpus string, sessions int, endpoint, question,
 		url = ts.URL
 		res.Sessions = sessions
 		res.Command = fmt.Sprintf("go run ./cmd/nalix-load -self -corpus %s -sessions %d -endpoint %s -n %d -c %d", corpus, sessions, endpoint, n, c)
+		if sample {
+			res.Command += " -sample"
+		}
+		if sloReport {
+			res.Command += " -slo-report"
+		}
 		res.Note = "in-process server (httptest), loopback transport included in latencies"
 	} else {
 		res.Command = fmt.Sprintf("go run ./cmd/nalix-load -url %s -endpoint %s -n %d -c %d", url, endpoint, n, c)
@@ -169,6 +216,14 @@ func run(url string, self bool, corpus string, sessions int, endpoint, question,
 	}
 	res.RPS = float64(len(ok)) / wall.Seconds()
 
+	if sloReport {
+		rep, err := fetchSLO(strings.TrimRight(url, "/") + "/slo")
+		if err != nil {
+			return fmt.Errorf("-slo-report: %w", err)
+		}
+		res.SLO = rep
+	}
+
 	b, err := json.MarshalIndent(&res, "", "  ")
 	if err != nil {
 		return err
@@ -213,8 +268,32 @@ func fire(target string, body []byte) (err error) {
 	return nil
 }
 
+// fetchSLO retrieves the server's burn-rate report as raw JSON.
+func fetchSLO(target string) (json.RawMessage, error) {
+	resp, err := http.Get(target)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/slo status %d", resp.StatusCode)
+	}
+	if !json.Valid(b) {
+		return nil, fmt.Errorf("/slo returned invalid JSON")
+	}
+	return json.RawMessage(b), nil
+}
+
 // selfServer stands up an in-process server over the named corpus.
-func selfServer(corpus string, sessions int, nocache bool) (*httptest.Server, error) {
+func selfServer(corpus string, sessions int, nocache, sample bool, objectives []slo.Objective) (*httptest.Server, error) {
 	if sessions < 1 {
 		sessions = 1
 	}
@@ -241,10 +320,16 @@ func selfServer(corpus string, sessions int, nocache bool) (*httptest.Server, er
 		}
 		engines[i] = e
 	}
-	srv, err := server.New(server.Config{
-		Engines:  engines,
-		Registry: reg,
-	})
+	cfg := server.Config{
+		Engines:    engines,
+		Registry:   reg,
+		Objectives: objectives,
+	}
+	if sample {
+		sc := obs.DefaultSamplerConfig()
+		cfg.Sampling = &sc
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return nil, err
 	}

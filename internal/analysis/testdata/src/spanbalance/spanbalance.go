@@ -113,3 +113,62 @@ func Captured(t *Tracer) func() {
 	sp := t.Start("captured")
 	return func() { sp.End() }
 }
+
+// The retention-policy shapes below mirror the tail-sampling API: a
+// trace finishes first, then a policy decides whether the recorder
+// keeps it. The span must be ended before the decision — retention
+// drops the record, not the obligation to close the span.
+
+// decide stands in for a retention policy (Engine.shouldRetain).
+func decide(sp *Span) bool { return sp != nil }
+
+// record stands in for the recorder (obs.Recorder.Record).
+func record(sp *Span) {}
+
+// EndBeforeDecide is the correct finishTrace shape: the span is closed,
+// then the policy gates only the record call.
+func EndBeforeDecide(t *Tracer, failed bool) {
+	sp := t.Start("retain")
+	sp.End()
+	if decide(sp) && !failed {
+		record(sp)
+	}
+}
+
+// DecideBeforeEnd drops the span with the record: the early return
+// leaks an open span whenever the policy says no.
+func DecideBeforeEnd(t *Tracer) {
+	sp := t.Start("drop")
+	if !decide(sp) {
+		return // want spanbalance "still open on this return path"
+	}
+	sp.End()
+	record(sp)
+}
+
+// entry is a retained-trace ring slot: holding the span hands ownership
+// to whoever drains the ring.
+type entry struct {
+	sp   *Span
+	kept bool
+}
+
+// ringAdd stands in for the kept-trace store.
+func ringAdd(e entry) {}
+
+// RetainedEntry escapes the span into the ring entry — the store owns
+// it now, so the missing End here is not a leak.
+func RetainedEntry(t *Tracer, kept bool) {
+	sp := t.Start("entry")
+	ringAdd(entry{sp: sp, kept: kept})
+}
+
+// VerdictGated ends the span unconditionally and only then builds the
+// retained entry under the sampling verdict — balanced on both arms.
+func VerdictGated(t *Tracer, kept bool) {
+	sp := t.Start("verdict")
+	sp.End()
+	if kept {
+		ringAdd(entry{sp: sp, kept: true})
+	}
+}

@@ -314,14 +314,24 @@ func (c *Checker) relatedCandidates(u *xmldb.Node, label string) []*xmldb.Node {
 	}
 	var out []*xmldb.Node
 	var checks int64
-	// The window root precedes its descendants in document order: emit it
-	// first so the result is Pre-sorted (callers hand it straight back as
-	// a for-clause binding sequence, where order is observable).
-	if w.Label == label {
-		checks++
-		if c.Related(u, w) {
-			out = append(out, w)
+	// Ancestors of u at or above the window root (including w itself) are
+	// always meaningfully related but never appear in the window scan
+	// below — the window holds only w's proper descendants. Emit them
+	// first, top-down: every such ancestor is an ancestor-or-self of w,
+	// so it precedes w's subtree in document order and the result stays
+	// Pre-sorted (callers hand it straight back as a for-clause binding
+	// sequence, where order is observable).
+	var anc []*xmldb.Node
+	for p := u.Parent; p != nil; p = p.Parent {
+		if p.Depth > w.Depth {
+			continue
 		}
+		if p.Label == label {
+			anc = append(anc, p)
+		}
+	}
+	for i := len(anc) - 1; i >= 0; i-- {
+		out = append(out, anc[i])
 	}
 	for _, cand := range c.doc.Descendants(w, label) {
 		checks++

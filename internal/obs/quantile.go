@@ -1,0 +1,79 @@
+package obs
+
+import "math"
+
+// Quantile estimation over the log2-bucketed histograms. A bucket only
+// says "c observations landed in [lo, hi)", so a quantile inside it is
+// linearly interpolated across the bucket's range — the estimate is
+// exact at bucket boundaries and off by at most the bucket width in
+// between, which for log2 buckets means a worst-case factor-of-two
+// error. Min and max are tracked exactly, so estimates are clamped to
+// the observed range (p99 of a histogram never exceeds its true max).
+
+// bucketBounds returns the [lo, hi) value range of a log2 bucket index
+// (the inverse of bucketIndex).
+func bucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	return math.Pow(2, float64(i-1)), math.Pow(2, float64(i))
+}
+
+// quantileFromBuckets estimates the qth quantile (0 < q <= 1) of a
+// bucketed distribution: the rank r = q·count is located in its bucket
+// and the value is interpolated linearly at the rank's relative
+// position inside the bucket, clamped to [min, max]. A zero count
+// yields 0.
+func quantileFromBuckets(counts []int64, bounds func(i int) (lo, hi float64), count int64, min, max, q float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	r := q * float64(count)
+	if r < 1 {
+		r = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= r {
+			lo, hi := bounds(i)
+			frac := (r - cum) / float64(c)
+			est := lo + frac*(hi-lo)
+			if est < min {
+				est = min
+			}
+			if est > max {
+				est = max
+			}
+			return est
+		}
+		cum += float64(c)
+	}
+	return max
+}
+
+// quantile estimates the qth quantile of a live histogram. Callers hold
+// the registry lock.
+func (h *Histogram) quantile(q float64) float64 {
+	return quantileFromBuckets(h.buckets[:], bucketBounds, h.count, h.min, h.max, q)
+}
+
+// Quantile estimates the qth quantile (0 < q <= 1) of a snapshot by
+// linear interpolation within the log2 bucket containing the rank,
+// clamped to the observed [Min, Max].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	counts := make([]int64, len(s.Buckets))
+	bounds := func(i int) (lo, hi float64) {
+		hi = s.Buckets[i].Le
+		if hi <= 1 {
+			return 0, 1
+		}
+		return hi / 2, hi
+	}
+	for i, b := range s.Buckets {
+		counts[i] = b.Count
+	}
+	return quantileFromBuckets(counts, bounds, s.Count, s.Min, s.Max, q)
+}

@@ -174,6 +174,19 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets [histogramBuckets]int64
+	// exems holds at most one exemplar per bucket — the most recent
+	// observation in that bucket that carried a trace ID. High buckets
+	// hold the extremes, so the tail of the map links /metrics straight
+	// to retained traces. Lazily allocated: histograms that never see an
+	// exemplar pay nothing.
+	exems map[int]Exemplar
+}
+
+// Exemplar ties one concrete observation to the trace that produced it,
+// so a histogram bucket can link to /debug/traces/<id>.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // bucketIndex maps a value to its log2 bucket: bucket i holds values v
@@ -224,6 +237,28 @@ func Observe(name string, v float64) {
 	Default.Observe(name, v)
 }
 
+// ObserveExemplar records a value into the named histogram and, when
+// traceID is non-empty, remembers it as the bucket's exemplar (latest
+// observation wins). Memory stays bounded: one exemplar per non-empty
+// bucket.
+func (r *Registry) ObserveExemplar(name string, v float64, traceID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	if traceID == "" || v < 0 || math.IsNaN(v) {
+		return
+	}
+	if h.exems == nil {
+		h.exems = make(map[int]Exemplar)
+	}
+	h.exems[bucketIndex(v)] = Exemplar{Value: v, TraceID: traceID}
+}
+
 // Snapshot is a point-in-time copy of a registry, ordered by name so its
 // JSON form is deterministic and round-trips byte-identically.
 type Snapshot struct {
@@ -245,21 +280,29 @@ type GaugeSnapshot struct {
 }
 
 // HistogramSnapshot is one histogram's state at snapshot time. Only
-// non-empty buckets are listed.
+// non-empty buckets are listed. P50/P95/P99 are quantile estimates
+// interpolated from the log2 buckets (see Quantile); they are exact at
+// bucket boundaries, clamped to [Min, Max] in between.
 type HistogramSnapshot struct {
 	Name    string           `json:"name"`
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
 	Min     float64          `json:"min"`
 	Max     float64          `json:"max"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // BucketSnapshot is one non-empty histogram bucket: Count observations
-// with value < Le (and >= Le/2 except for the first bucket).
+// with value < Le (and >= Le/2 except for the first bucket). Exemplar
+// links the bucket's most recent exemplar-carrying observation to its
+// trace, when one was recorded via ObserveExemplar.
 type BucketSnapshot struct {
-	Le    float64 `json:"le"`
-	Count int64   `json:"count"`
+	Le       float64   `json:"le"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot captures the registry. Counters and histograms are sorted by
@@ -308,15 +351,23 @@ func (r *Registry) Snapshot() *Snapshot {
 			Sum:   h.sum,
 			Min:   h.min,
 			Max:   h.max,
+			P50:   h.quantile(0.50),
+			P95:   h.quantile(0.95),
+			P99:   h.quantile(0.99),
 		}
 		for i, c := range h.buckets {
 			if c == 0 {
 				continue
 			}
-			hs.Buckets = append(hs.Buckets, BucketSnapshot{
+			bs := BucketSnapshot{
 				Le:    math.Pow(2, float64(i)),
 				Count: c,
-			})
+			}
+			if ex, ok := h.exems[i]; ok {
+				ex := ex
+				bs.Exemplar = &ex
+			}
+			hs.Buckets = append(hs.Buckets, bs)
 		}
 		snap.Histograms = append(snap.Histograms, hs)
 	}

@@ -1,0 +1,409 @@
+// Package slo is the service-level-objective engine of the serving
+// surface: per-endpoint objectives (availability plus a latency
+// threshold), sliding-window good/bad accounting, and multi-window
+// burn-rate computation in the style of the SRE workbook — a fast pair
+// of windows (5m and 1h) that pages on budget-destroying incidents
+// within minutes, and a slow pair (30m and 6h) that catches sustained
+// low-grade burn. Both windows of a pair must exceed the threshold for
+// the alert to be active, which suppresses the false positives either
+// window alone would fire on.
+//
+// Burn rate is the speed at which the error budget is being consumed:
+// a burn of 1 spends exactly the budget over the objective's period; a
+// burn of 14.4 against a 99.9% objective exhausts a 30-day budget in
+// two days. The engine computes burn over each window as
+// (bad/total) / (1 - target).
+package slo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nalix/internal/obs"
+)
+
+// Window accounting granularity and span: 10-second slots covering the
+// longest window (6h).
+const (
+	slotSeconds = 10
+	ringSlots   = 6 * 3600 / slotSeconds
+)
+
+// The four burn-rate windows, paired fast (5m, 1h) and slow (30m, 6h).
+var windows = []struct {
+	name string
+	secs int64
+}{
+	{"5m", 300},
+	{"30m", 1800},
+	{"1h", 3600},
+	{"6h", 21600},
+}
+
+// Defaults for Config zero values: the SRE-workbook thresholds and a
+// 1s alert-evaluation cadence.
+const (
+	DefaultFastBurn      = 14.4
+	DefaultSlowBurn      = 6.0
+	DefaultCheckInterval = time.Second
+	DefaultCooldown      = time.Minute
+)
+
+// Objective is one per-endpoint service-level objective.
+type Objective struct {
+	// Name identifies the request class, normally the endpoint ("ask").
+	Name string `json:"name"`
+	// Target is the availability target in (0, 1), e.g. 0.999. The
+	// error budget is 1 - Target.
+	Target float64 `json:"target"`
+	// Latency is the threshold a request must meet to count as good;
+	// zero makes the objective availability-only.
+	Latency time.Duration `json:"-"`
+}
+
+// ParseObjective parses the flag form "name:availability[:latency]" —
+// availability as a percentage ("99.9" or "99.9%") or a ratio
+// ("0.999"), latency as a Go duration ("50ms").
+func ParseObjective(s string) (Objective, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Objective{}, fmt.Errorf("slo: objective %q: want name:availability[:latency]", s)
+	}
+	var o Objective
+	o.Name = strings.TrimSpace(parts[0])
+	if o.Name == "" {
+		return Objective{}, fmt.Errorf("slo: objective %q: empty name", s)
+	}
+	avail := strings.TrimSuffix(strings.TrimSpace(parts[1]), "%")
+	v, err := strconv.ParseFloat(avail, 64)
+	if err != nil {
+		return Objective{}, fmt.Errorf("slo: objective %q: availability: %w", s, err)
+	}
+	if v > 1 { // percentage form
+		// Round away the division artifact so 99.9% is exactly 0.999.
+		v = math.Round(v/100*1e9) / 1e9
+	}
+	if v <= 0 || v >= 1 {
+		return Objective{}, fmt.Errorf("slo: objective %q: availability %v outside (0, 1)", s, v)
+	}
+	o.Target = v
+	if len(parts) == 3 {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return Objective{}, fmt.Errorf("slo: objective %q: latency: %w", s, err)
+		}
+		if d <= 0 {
+			return Objective{}, fmt.Errorf("slo: objective %q: latency must be positive", s)
+		}
+		o.Latency = d
+	}
+	return o, nil
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Objectives are the declared per-endpoint objectives (at least one
+	// is required).
+	Objectives []Objective
+	// FastBurn is the paging threshold both fast windows (5m, 1h) must
+	// exceed (0 means DefaultFastBurn).
+	FastBurn float64
+	// SlowBurn is the ticket threshold both slow windows (30m, 6h) must
+	// exceed (0 means DefaultSlowBurn).
+	SlowBurn float64
+	// CheckInterval is how often Record re-evaluates alert conditions
+	// (0 means DefaultCheckInterval).
+	CheckInterval time.Duration
+	// Cooldown is the minimum gap between OnFastBurn firings for one
+	// objective (0 means DefaultCooldown).
+	Cooldown time.Duration
+	// OnFastBurn fires when an objective's fast-burn alert becomes
+	// active (edge-triggered, rate-limited by Cooldown). It is invoked
+	// without engine locks held; implementations must be safe for
+	// concurrent use.
+	OnFastBurn func(r ObjectiveReport)
+	// Registry receives nalix_slo_* counters and gauges (nil = none).
+	Registry *obs.Registry
+	// Now is the clock (nil means time.Now) — a test hook.
+	Now func() time.Time
+}
+
+// slot is one 10-second accounting slot of a tracker's ring.
+type slot struct {
+	epoch      int64 // unix-seconds/slotSeconds this slot currently holds
+	total, bad int64
+}
+
+// tracker is one objective's sliding window plus alert state.
+type tracker struct {
+	obj        Objective
+	ring       [ringSlots]slot
+	fastActive bool
+	slowActive bool
+	lastFire   time.Time
+
+	// Registry hot-path counters, resolved once.
+	goodTotal *obs.StatCounter
+	badTotal  *obs.StatCounter
+}
+
+// Engine records request outcomes against objectives and computes
+// multi-window burn rates. Safe for concurrent use.
+type Engine struct {
+	mu        sync.Mutex
+	trackers  []*tracker // sorted by objective name
+	byName    map[string]*tracker
+	fastBurn  float64
+	slowBurn  float64
+	interval  time.Duration
+	cooldown  time.Duration
+	onFast    func(r ObjectiveReport)
+	reg       *obs.Registry
+	now       func() time.Time
+	lastCheck time.Time
+}
+
+// New builds an engine over the declared objectives.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Objectives) == 0 {
+		return nil, fmt.Errorf("slo: at least one objective is required")
+	}
+	e := &Engine{
+		byName:   make(map[string]*tracker),
+		fastBurn: cfg.FastBurn,
+		slowBurn: cfg.SlowBurn,
+		interval: cfg.CheckInterval,
+		cooldown: cfg.Cooldown,
+		onFast:   cfg.OnFastBurn,
+		reg:      cfg.Registry,
+		now:      cfg.Now,
+	}
+	if e.fastBurn <= 0 {
+		e.fastBurn = DefaultFastBurn
+	}
+	if e.slowBurn <= 0 {
+		e.slowBurn = DefaultSlowBurn
+	}
+	if e.interval <= 0 {
+		e.interval = DefaultCheckInterval
+	}
+	if e.cooldown <= 0 {
+		e.cooldown = DefaultCooldown
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	for _, o := range cfg.Objectives {
+		if o.Name == "" || o.Target <= 0 || o.Target >= 1 {
+			return nil, fmt.Errorf("slo: malformed objective %+v", o)
+		}
+		if _, dup := e.byName[o.Name]; dup {
+			return nil, fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+		t := &tracker{obj: o}
+		if e.reg != nil {
+			t.goodTotal = e.reg.Counter(labeled2("nalix_slo_good_total", o.Name, ""))
+			t.badTotal = e.reg.Counter(labeled2("nalix_slo_bad_total", o.Name, ""))
+		}
+		e.byName[o.Name] = t
+		e.trackers = append(e.trackers, t)
+	}
+	sort.Slice(e.trackers, func(i, j int) bool { return e.trackers[i].obj.Name < e.trackers[j].obj.Name })
+	e.lastCheck = e.now()
+	return e, nil
+}
+
+// labeled2 renders "name{objective=o}" or "name{objective=o,window=w}".
+func labeled2(name, objective, window string) string {
+	if window == "" {
+		return name + "{objective=" + objective + "}"
+	}
+	return name + "{objective=" + objective + ",window=" + window + "}"
+}
+
+// Objectives reports whether the engine tracks the named objective.
+func (e *Engine) Tracks(name string) bool {
+	_, ok := e.byName[name]
+	return ok
+}
+
+// Record accounts one completed request: bad when it failed outright or
+// exceeded the objective's latency threshold. Unknown names are
+// ignored, so callers can Record unconditionally. Alert conditions are
+// re-evaluated at most once per CheckInterval.
+func (e *Engine) Record(name string, latency time.Duration, failed bool) {
+	t, ok := e.byName[name]
+	if !ok {
+		return
+	}
+	bad := failed || (t.obj.Latency > 0 && latency > t.obj.Latency)
+	now := e.now()
+	epoch := now.Unix() / slotSeconds
+
+	e.mu.Lock()
+	s := &t.ring[epoch%ringSlots]
+	if s.epoch != epoch {
+		s.epoch, s.total, s.bad = epoch, 0, 0
+	}
+	s.total++
+	if bad {
+		s.bad++
+	}
+	var fired []ObjectiveReport
+	if now.Sub(e.lastCheck) >= e.interval {
+		e.lastCheck = now
+		fired = e.checkLocked(now)
+	}
+	e.mu.Unlock()
+
+	if bad {
+		t.badTotal.Add(1)
+	} else {
+		t.goodTotal.Add(1)
+	}
+	for _, r := range fired {
+		e.onFast(r)
+	}
+}
+
+// WindowBurn is one window's burn-rate accounting.
+type WindowBurn struct {
+	Window   string  `json:"window"`
+	Seconds  int64   `json:"seconds"`
+	Total    int64   `json:"total"`
+	Bad      int64   `json:"bad"`
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// ObjectiveReport is one objective's current burn state.
+type ObjectiveReport struct {
+	Name           string       `json:"name"`
+	Target         float64      `json:"target"`
+	LatencyNs      int64        `json:"latency_ns,omitempty"`
+	ErrorBudget    float64      `json:"error_budget"`
+	Windows        []WindowBurn `json:"windows"`
+	FastBurnActive bool         `json:"fast_burn_active"`
+	SlowBurnActive bool         `json:"slow_burn_active"`
+}
+
+// Report is the /slo payload: every objective's multi-window burn
+// state plus the alert thresholds in force.
+type Report struct {
+	FastBurnThreshold float64           `json:"fast_burn_threshold"`
+	SlowBurnThreshold float64           `json:"slow_burn_threshold"`
+	Objectives        []ObjectiveReport `json:"objectives"`
+}
+
+// burn sums a tracker's ring over the trailing window and converts the
+// bad ratio to a burn rate. Callers hold e.mu.
+func (t *tracker) burn(nowEpoch, windowSecs int64, budget float64) WindowBurn {
+	slots := windowSecs / slotSeconds
+	if slots > ringSlots {
+		slots = ringSlots
+	}
+	var total, bad int64
+	for i := int64(0); i < slots; i++ {
+		epoch := nowEpoch - i
+		s := &t.ring[epoch%ringSlots]
+		if s.epoch == epoch {
+			total += s.total
+			bad += s.bad
+		}
+	}
+	w := WindowBurn{Seconds: windowSecs, Total: total, Bad: bad}
+	if total > 0 && budget > 0 {
+		w.BurnRate = (float64(bad) / float64(total)) / budget
+	}
+	return w
+}
+
+// reportLocked builds one objective's report. Callers hold e.mu.
+func (e *Engine) reportLocked(t *tracker, nowEpoch int64) ObjectiveReport {
+	budget := 1 - t.obj.Target
+	r := ObjectiveReport{
+		Name:        t.obj.Name,
+		Target:      t.obj.Target,
+		LatencyNs:   t.obj.Latency.Nanoseconds(),
+		ErrorBudget: budget,
+	}
+	burns := make(map[string]float64, len(windows))
+	for _, w := range windows {
+		wb := t.burn(nowEpoch, w.secs, budget)
+		wb.Window = w.name
+		burns[w.name] = wb.BurnRate
+		r.Windows = append(r.Windows, wb)
+	}
+	r.FastBurnActive = burns["5m"] >= e.fastBurn && burns["1h"] >= e.fastBurn
+	r.SlowBurnActive = burns["30m"] >= e.slowBurn && burns["6h"] >= e.slowBurn
+	return r
+}
+
+// checkLocked re-evaluates alert state for every tracker, returning the
+// reports whose fast-burn alert newly fired (edge-triggered with
+// cooldown). Callers hold e.mu and must invoke OnFastBurn after
+// unlocking.
+func (e *Engine) checkLocked(now time.Time) []ObjectiveReport {
+	nowEpoch := now.Unix() / slotSeconds
+	var fired []ObjectiveReport
+	for _, t := range e.trackers {
+		r := e.reportLocked(t, nowEpoch)
+		// Fire on the rising edge only, rate-limited by the cooldown so a
+		// flapping alert cannot stampede the capture machinery downstream.
+		rising := r.FastBurnActive && !t.fastActive
+		cooled := t.lastFire.IsZero() || now.Sub(t.lastFire) >= e.cooldown
+		if e.onFast != nil && rising && cooled {
+			fired = append(fired, r)
+			t.lastFire = now
+		}
+		t.fastActive = r.FastBurnActive
+		t.slowActive = r.SlowBurnActive
+		e.publishLocked(t, r)
+	}
+	return fired
+}
+
+// publishLocked pushes one objective's burn gauges into the registry
+// (milli-burn, since gauges are integral). Callers hold e.mu.
+func (e *Engine) publishLocked(t *tracker, r ObjectiveReport) {
+	if e.reg == nil {
+		return
+	}
+	for _, w := range r.Windows {
+		e.reg.Gauge(labeled2("nalix_slo_burn_milli", r.Name, w.Window)).Set(int64(w.BurnRate * 1000))
+	}
+	active := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	e.reg.Gauge(labeled2("nalix_slo_fast_burn_active", r.Name, "")).Set(active(r.FastBurnActive))
+	e.reg.Gauge(labeled2("nalix_slo_slow_burn_active", r.Name, "")).Set(active(r.SlowBurnActive))
+}
+
+// Report computes the current multi-window burn state of every
+// objective (sorted by name) and refreshes the published gauges.
+func (e *Engine) Report() Report {
+	now := e.now()
+	nowEpoch := now.Unix() / slotSeconds
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := Report{
+		FastBurnThreshold: e.fastBurn,
+		SlowBurnThreshold: e.slowBurn,
+		Objectives:        []ObjectiveReport{},
+	}
+	for _, t := range e.trackers {
+		r := e.reportLocked(t, nowEpoch)
+		// Report reflects but does not edge-trigger alerts; Record owns
+		// firing so a dashboard poll cannot swallow an edge.
+		e.publishLocked(t, r)
+		rep.Objectives = append(rep.Objectives, r)
+	}
+	return rep
+}

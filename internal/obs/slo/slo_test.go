@@ -1,0 +1,302 @@
+package slo
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"nalix/internal/obs"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(2_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestParseObjective(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Objective
+		wantErr bool
+	}{
+		{"ask:99.9:50ms", Objective{Name: "ask", Target: 0.999, Latency: 50 * time.Millisecond}, false},
+		{"ask:99.9%:50ms", Objective{Name: "ask", Target: 0.999, Latency: 50 * time.Millisecond}, false},
+		{"ask:0.99", Objective{Name: "ask", Target: 0.99}, false},
+		{"search:95:1s", Objective{Name: "search", Target: 0.95, Latency: time.Second}, false},
+		{"ask", Objective{}, true},
+		{":99.9", Objective{}, true},
+		{"ask:0", Objective{}, true},
+		{"ask:100", Objective{}, true},
+		{"ask:99.9:-5ms", Objective{}, true},
+		{"ask:99.9:nope", Objective{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseObjective(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseObjective(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseObjective(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestBurnRateArithmetic pins the burn computation: bad-ratio divided by
+// the error budget, per window, zero on empty windows.
+func TestBurnRateArithmetic(t *testing.T) {
+	clk := newFakeClock()
+	e, err := New(Config{
+		Objectives: []Objective{{Name: "ask", Target: 0.99}}, // budget 0.01
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 requests, 5 failed → bad ratio 0.05 → burn 5.0 in every window.
+	for i := 0; i < 100; i++ {
+		e.Record("ask", time.Millisecond, i < 5)
+	}
+	rep := e.Report()
+	if len(rep.Objectives) != 1 {
+		t.Fatalf("objectives = %d, want 1", len(rep.Objectives))
+	}
+	o := rep.Objectives[0]
+	if math.Abs(o.ErrorBudget-0.01) > 1e-9 {
+		t.Errorf("budget = %v, want 0.01", o.ErrorBudget)
+	}
+	if len(o.Windows) != 4 {
+		t.Fatalf("windows = %d, want 4", len(o.Windows))
+	}
+	for _, w := range o.Windows {
+		if w.Total != 100 || w.Bad != 5 {
+			t.Errorf("window %s: total=%d bad=%d, want 100/5", w.Window, w.Total, w.Bad)
+		}
+		if math.Abs(w.BurnRate-5.0) > 1e-6 {
+			t.Errorf("window %s: burn = %v, want 5.0", w.Window, w.BurnRate)
+		}
+	}
+	// Unknown endpoints are ignored, not tracked implicitly.
+	e.Record("nope", time.Millisecond, true)
+	if got := e.Report().Objectives[0].Windows[0].Total; got != 100 {
+		t.Errorf("unknown endpoint leaked into tracker: total = %d", got)
+	}
+}
+
+// TestWindowExpiry: outcomes age out of the short windows but remain in
+// the long ones, which is exactly what makes the fast/slow pairing
+// meaningful.
+func TestWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	e, err := New(Config{
+		Objectives: []Objective{{Name: "ask", Target: 0.99}},
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e.Record("ask", time.Millisecond, true)
+	}
+	clk.Advance(10 * time.Minute) // past 5m, inside 30m/1h/6h
+	rep := e.Report()
+	byWindow := map[string]WindowBurn{}
+	for _, w := range rep.Objectives[0].Windows {
+		byWindow[w.Window] = w
+	}
+	if byWindow["5m"].Total != 0 {
+		t.Errorf("5m window did not expire: %+v", byWindow["5m"])
+	}
+	for _, name := range []string{"30m", "1h", "6h"} {
+		if byWindow[name].Bad != 50 {
+			t.Errorf("%s window lost data: %+v", name, byWindow[name])
+		}
+	}
+	clk.Advance(7 * time.Hour) // beyond every window
+	rep = e.Report()
+	for _, w := range rep.Objectives[0].Windows {
+		if w.Total != 0 || w.BurnRate != 0 {
+			t.Errorf("window %s retained expired data: %+v", w.Window, w)
+		}
+	}
+}
+
+// TestFastBurnLatencyInjection is the acceptance drive: a latency
+// objective, healthy traffic below threshold, then synthetic latency
+// injection pushes both fast windows over the 14.4 burn threshold —
+// the alert activates, fires OnFastBurn exactly once (edge + cooldown),
+// and recovery deactivates it.
+func TestFastBurnLatencyInjection(t *testing.T) {
+	clk := newFakeClock()
+	var mu sync.Mutex
+	var fires []ObjectiveReport
+	reg := obs.NewRegistry()
+	e, err := New(Config{
+		Objectives: []Objective{{Name: "ask", Target: 0.999, Latency: 50 * time.Millisecond}},
+		Cooldown:   10 * time.Minute,
+		Registry:   reg,
+		Now:        clk.Now,
+		OnFastBurn: func(r ObjectiveReport) {
+			mu.Lock()
+			fires = append(fires, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: two minutes of healthy traffic, 10ms latencies.
+	for i := 0; i < 120; i++ {
+		e.Record("ask", 10*time.Millisecond, false)
+		clk.Advance(time.Second)
+	}
+	rep := e.Report()
+	if rep.Objectives[0].FastBurnActive {
+		t.Fatal("fast burn active on healthy traffic")
+	}
+	if n := len(fires); n != 0 {
+		t.Fatalf("OnFastBurn fired %d times on healthy traffic", n)
+	}
+
+	// Phase 2: latency injection — every second request now takes 200ms,
+	// blowing the 50ms objective. Bad ratio 0.5 against a 0.001 budget is
+	// a burn of 500, far past 14.4 in both the 5m and 1h windows.
+	for i := 0; i < 120; i++ {
+		lat := 10 * time.Millisecond
+		if i%2 == 0 {
+			lat = 200 * time.Millisecond
+		}
+		e.Record("ask", lat, false)
+		clk.Advance(time.Second)
+	}
+	rep = e.Report()
+	o := rep.Objectives[0]
+	if !o.FastBurnActive {
+		t.Fatalf("fast burn not active after latency injection: %+v", o)
+	}
+	for _, w := range o.Windows {
+		if (w.Window == "5m" || w.Window == "1h") && w.BurnRate < DefaultFastBurn {
+			t.Errorf("window %s burn = %v, want >= %v", w.Window, w.BurnRate, DefaultFastBurn)
+		}
+	}
+	mu.Lock()
+	nfires := len(fires)
+	mu.Unlock()
+	if nfires != 1 {
+		t.Fatalf("OnFastBurn fired %d times, want exactly 1 (edge-triggered with cooldown)", nfires)
+	}
+	if !fires[0].FastBurnActive || fires[0].Name != "ask" {
+		t.Errorf("fired report = %+v", fires[0])
+	}
+
+	// Published gauges reflect the alert and the burn magnitude.
+	snap := reg.Snapshot()
+	if got := snap.Gauge("nalix_slo_fast_burn_active{objective=ask}"); got != 1 {
+		t.Errorf("fast_burn_active gauge = %d, want 1", got)
+	}
+	if got := snap.Gauge("nalix_slo_burn_milli{objective=ask,window=5m}"); got < 14400 {
+		t.Errorf("5m burn gauge = %d milli, want >= 14400", got)
+	}
+	if good, bad := snap.Counter("nalix_slo_good_total{objective=ask}"), snap.Counter("nalix_slo_bad_total{objective=ask}"); good != 180 || bad != 60 {
+		t.Errorf("good/bad counters = %d/%d, want 180/60", good, bad)
+	}
+
+	// Phase 3: recovery — healthy traffic pushes the 5m window back
+	// under threshold; the alert deactivates (the 1h window still holds
+	// the incident, which is why both windows must agree to page).
+	for i := 0; i < 360; i++ {
+		e.Record("ask", 10*time.Millisecond, false)
+		clk.Advance(time.Second)
+	}
+	rep = e.Report()
+	if rep.Objectives[0].FastBurnActive {
+		t.Errorf("fast burn still active after recovery: %+v", rep.Objectives[0])
+	}
+	if got := reg.Snapshot().Gauge("nalix_slo_fast_burn_active{objective=ask}"); got != 0 {
+		t.Errorf("fast_burn_active gauge = %d after recovery, want 0", got)
+	}
+	mu.Lock()
+	nfires = len(fires)
+	mu.Unlock()
+	if nfires != 1 {
+		t.Errorf("OnFastBurn fired %d times total, want 1", nfires)
+	}
+}
+
+// TestSlowBurnSustained: a low-grade error rate that never trips the
+// fast pair still trips the slow pair once sustained.
+func TestSlowBurnSustained(t *testing.T) {
+	clk := newFakeClock()
+	e, err := New(Config{
+		Objectives: []Objective{{Name: "ask", Target: 0.99}}, // budget 0.01
+		Now:        clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% errors → burn 10: above the slow threshold (6), below fast
+	// (14.4). Sustain for 35 minutes so both 30m and 6h windows hold it.
+	for i := 0; i < 35*60; i += 5 {
+		e.Record("ask", time.Millisecond, i%50 == 0) // 1 in 10 of records
+		clk.Advance(5 * time.Second)
+	}
+	o := e.Report().Objectives[0]
+	if o.FastBurnActive {
+		t.Errorf("fast burn active at burn 10: %+v", o)
+	}
+	if !o.SlowBurnActive {
+		t.Errorf("slow burn not active on sustained burn 10: %+v", o)
+	}
+}
+
+// TestConcurrentRecord: Record and Report race-cleanly (run with -race).
+func TestConcurrentRecord(t *testing.T) {
+	e, err := New(Config{
+		Objectives: []Objective{{Name: "ask", Target: 0.999, Latency: 50 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Record("ask", time.Duration(i)*time.Microsecond, i%100 == 0)
+				if i%100 == 0 {
+					e.Report()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	o := e.Report().Objectives[0]
+	var total int64
+	for _, w := range o.Windows {
+		if w.Window == "6h" {
+			total = w.Total
+		}
+	}
+	if total != 8*500 {
+		t.Errorf("6h window total = %d, want %d", total, 8*500)
+	}
+}

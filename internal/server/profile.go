@@ -1,0 +1,306 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nalix/internal/obs"
+)
+
+// Spike-triggered profiling capture: when the serving surface degrades
+// — an SLO fast-burn alert fires, or request latency spikes past a
+// multiple of its own rolling p99 — the server captures a bounded CPU
+// profile plus goroutine and heap snapshots into a capped on-disk ring.
+// The evidence of *why it was slow* is collected while it is still
+// slow, instead of asking an operator to reproduce the incident against
+// /debug/pprof after the fact.
+
+// Profile capture defaults.
+const (
+	DefaultProfileCPUDuration = 2 * time.Second
+	DefaultProfileCapacity    = 8
+	DefaultProfileCooldown    = time.Minute
+	DefaultSpikeFactor        = 2.0
+)
+
+// ProfileConfig configures spike-triggered profiling capture. The zero
+// value (empty Dir) disables capture entirely.
+type ProfileConfig struct {
+	// Dir is where captures land, one subdirectory per capture. Empty
+	// disables profiling capture.
+	Dir string
+	// CPUDuration bounds the CPU profile of one capture (0 means
+	// DefaultProfileCPUDuration).
+	CPUDuration time.Duration
+	// Capacity caps how many captures the on-disk ring holds; the oldest
+	// is deleted to admit a new one (0 means DefaultProfileCapacity).
+	Capacity int
+	// Cooldown is the minimum gap between captures, so a sustained
+	// incident yields a few spaced captures rather than a disk full of
+	// identical ones (0 means DefaultProfileCooldown).
+	Cooldown time.Duration
+	// SpikeFactor arms the latency trigger: a capture fires when a
+	// request runs at or past SpikeFactor times the rolling p99 of
+	// recent traffic (0 means DefaultSpikeFactor; negative disables the
+	// latency trigger, leaving only the SLO fast-burn trigger).
+	SpikeFactor float64
+	// SpikeWindow and SpikeMinSamples tune the rolling-p99 estimator
+	// (defaults as in obs: 10s window, 200 samples to engage). Test
+	// hooks as much as production knobs.
+	SpikeWindow     time.Duration
+	SpikeMinSamples int64
+}
+
+// CaptureInfo is one capture's identity in the /debug/profiles listing.
+type CaptureInfo struct {
+	Name    string   `json:"name"`
+	Time    string   `json:"time"`
+	Trigger string   `json:"trigger"`
+	Files   []string `json:"files"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// profiler owns the capture ring. Triggers are non-blocking: the
+// request path only checks a cooldown; the capture itself runs on its
+// own goroutine.
+type profiler struct {
+	dir      string
+	cpuDur   time.Duration
+	capacity int
+	cooldown time.Duration
+	reg      *obs.Registry
+	// spike is the rolling-p99 latency estimator, reusing the obs tail
+	// sampler with only its adaptive rule armed: a "slow" verdict IS the
+	// spike signal. Nil when the latency trigger is disabled.
+	spike *obs.Sampler
+
+	mu   sync.Mutex
+	last time.Time
+	busy bool
+	seq  int64
+}
+
+// newProfiler builds the capture ring (nil when cfg.Dir is empty).
+func newProfiler(cfg ProfileConfig, reg *obs.Registry) (*profiler, error) {
+	if cfg.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: profile dir: %w", err)
+	}
+	p := &profiler{
+		dir:      cfg.Dir,
+		cpuDur:   cfg.CPUDuration,
+		capacity: cfg.Capacity,
+		cooldown: cfg.Cooldown,
+		reg:      reg,
+	}
+	if p.cpuDur <= 0 {
+		p.cpuDur = DefaultProfileCPUDuration
+	}
+	if p.capacity <= 0 {
+		p.capacity = DefaultProfileCapacity
+	}
+	if p.cooldown <= 0 {
+		p.cooldown = DefaultProfileCooldown
+	}
+	factor := cfg.SpikeFactor
+	if factor == 0 {
+		factor = DefaultSpikeFactor
+	}
+	if factor > 0 {
+		p.spike = obs.NewSampler(obs.SamplerConfig{
+			AdaptiveFactor: factor,
+			// The estimator watches the p99, so a spike means "slower
+			// than factor × p99 of recent traffic".
+			AdaptiveQuantile: 0.99,
+			AdaptiveWindow:   cfg.SpikeWindow,
+			AdaptiveMin:      cfg.SpikeMinSamples,
+		})
+	}
+	return p, nil
+}
+
+// note feeds one request latency to the spike estimator and fires a
+// capture when the latency trigger trips. Nil-tolerant.
+func (p *profiler) note(dur time.Duration) {
+	if p == nil || p.spike == nil {
+		return
+	}
+	if v := p.spike.Decide(dur, false, ""); v.Keep && v.Reason == "slow" {
+		p.trigger("latency-spike")
+	}
+}
+
+// trigger requests a capture; it declines (returning false) while a
+// capture is in progress or the cooldown has not elapsed. Nil-tolerant.
+func (p *profiler) trigger(reason string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	if p.busy || (!p.last.IsZero() && time.Since(p.last) < p.cooldown) {
+		p.mu.Unlock()
+		p.reg.Add(obs.Labeled("profile_captures_declined", "trigger", reason), 1)
+		return false
+	}
+	p.busy = true
+	p.last = time.Now()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+	go p.capture(seq, reason)
+	return true
+}
+
+// capture collects one incident's evidence: goroutine and heap
+// snapshots immediately (the cheap, instant views), then a bounded CPU
+// profile of the still-degraded process.
+func (p *profiler) capture(seq int64, reason string) {
+	defer func() {
+		p.mu.Lock()
+		p.busy = false
+		p.mu.Unlock()
+	}()
+	start := time.Now()
+	name := fmt.Sprintf("cap-%06d-%d", seq, start.Unix())
+	dir := filepath.Join(p.dir, name)
+	info := CaptureInfo{
+		Name:    name,
+		Time:    start.UTC().Format(time.RFC3339Nano),
+		Trigger: reason,
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		p.reg.Add("profile_capture_errors", 1)
+		return
+	}
+	fail := func(err error) {
+		if info.Error == "" {
+			info.Error = err.Error()
+		}
+		p.reg.Add("profile_capture_errors", 1)
+	}
+
+	if f, err := os.Create(filepath.Join(dir, "goroutine.txt")); err != nil {
+		fail(err)
+	} else {
+		if err := pprof.Lookup("goroutine").WriteTo(f, 1); err != nil {
+			fail(err)
+		} else {
+			info.Files = append(info.Files, "goroutine.txt")
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if f, err := os.Create(filepath.Join(dir, "heap.pprof")); err != nil {
+		fail(err)
+	} else {
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fail(err)
+		} else {
+			info.Files = append(info.Files, "heap.pprof")
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	// The CPU profile can be refused when another profile is already
+	// running (an operator on /debug/pprof/profile) — the capture still
+	// keeps its snapshots and records why the profile is missing.
+	if f, err := os.Create(filepath.Join(dir, "cpu.pprof")); err != nil {
+		fail(err)
+	} else {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(fmt.Errorf("cpu profile unavailable: %w", err))
+		} else {
+			time.Sleep(p.cpuDur)
+			pprof.StopCPUProfile()
+			info.Files = append(info.Files, "cpu.pprof")
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	sort.Strings(info.Files)
+	if b, err := json.MarshalIndent(info, "", "  "); err == nil {
+		if err := os.WriteFile(filepath.Join(dir, "meta.json"), b, 0o644); err != nil {
+			p.reg.Add("profile_capture_errors", 1)
+		}
+	}
+	p.evict()
+	p.reg.Add(obs.Labeled("profile_captures", "trigger", reason), 1)
+}
+
+// captureNames lists the on-disk capture directories, oldest first
+// (names embed a monotonic sequence, so lexical order is age order
+// within one process; across restarts the unix stamp dominates ties
+// closely enough for an eviction ring).
+func (p *profiler) captureNames() []string {
+	ents, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "cap-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// evict removes the oldest captures past the ring's capacity.
+func (p *profiler) evict() {
+	names := p.captureNames()
+	for len(names) > p.capacity {
+		if err := os.RemoveAll(filepath.Join(p.dir, names[0])); err != nil {
+			p.reg.Add("profile_capture_errors", 1)
+			return
+		}
+		names = names[1:]
+	}
+}
+
+// list reads every capture's metadata, oldest first.
+func (p *profiler) list() []CaptureInfo {
+	var out []CaptureInfo
+	for _, name := range p.captureNames() {
+		info := CaptureInfo{Name: name}
+		if b, err := os.ReadFile(filepath.Join(p.dir, name, "meta.json")); err == nil {
+			if err := json.Unmarshal(b, &info); err != nil {
+				info = CaptureInfo{Name: name, Error: "unreadable meta.json"}
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// open resolves one capture file, refusing anything that would escape
+// the capture directory.
+func (p *profiler) open(name, file string) (string, bool) {
+	if !validPathSegment(name) || !validPathSegment(file) {
+		return "", false
+	}
+	path := filepath.Join(p.dir, name, file)
+	if fi, err := os.Stat(path); err != nil || fi.IsDir() {
+		return "", false
+	}
+	return path, true
+}
+
+// validPathSegment admits one plain path component: no separators, no
+// traversal.
+func validPathSegment(s string) bool {
+	return s != "" && s != "." && s != ".." &&
+		!strings.ContainsAny(s, `/\`)
+}

@@ -30,6 +30,7 @@ import (
 
 	"nalix"
 	"nalix/internal/obs"
+	"nalix/internal/obs/slo"
 )
 
 // Defaults for Config zero values.
@@ -54,13 +55,41 @@ type Config struct {
 	// histograms and per-endpoint histograms land in one snapshot.
 	Engines []*nalix.Engine
 
-	// SlowThreshold is the latency at or above which a request enters
-	// the slow-query ring. Zero means DefaultSlowThreshold; negative
-	// disables slow capture.
+	// SlowThreshold is the total wall time at or above which a request
+	// enters the slow-query ring. Zero means DefaultSlowThreshold;
+	// negative disables the wall-time rule.
 	SlowThreshold time.Duration
+
+	// SlowStageThreshold additionally admits a request to the slow ring
+	// when any single top-level pipeline stage runs at least this long —
+	// a request that spends 400ms inside one stage is a slow query even
+	// when its total squeaks under the wall-time threshold. Zero derives
+	// half the effective SlowThreshold; negative disables the stage rule.
+	SlowStageThreshold time.Duration
 
 	// SlowCapacity bounds the slow-query ring (0 = default).
 	SlowCapacity int
+
+	// Sampling is the tail-based trace-retention policy behind
+	// /debug/traces: the keep/drop decision for each request's trace is
+	// made after completion, from its outcome (see obs.SamplerConfig).
+	// Nil retains every trace — the historical behavior, which under
+	// sustained load lets ordinary traffic evict the interesting tail.
+	Sampling *obs.SamplerConfig
+
+	// Objectives declares per-endpoint SLOs; non-empty enables the SLO
+	// burn-rate engine, the /slo endpoint, and the nalix_slo_* metrics.
+	Objectives []slo.Objective
+
+	// SLOCheckInterval is how often the SLO engine re-evaluates its
+	// alert conditions (0 = the engine's default, 1s).
+	SLOCheckInterval time.Duration
+
+	// Profile configures spike-triggered profiling capture (zero value
+	// disables). A fast-burn SLO alert or a latency spike past the
+	// rolling p99 captures CPU/goroutine/heap evidence into an on-disk
+	// ring served at /debug/profiles.
+	Profile ProfileConfig
 
 	// TraceCapacity bounds the recent-trace ring that backs
 	// /debug/traces/<id> (0 = default).
@@ -91,19 +120,27 @@ type AccessRecord struct {
 	DurationNs   int64          `json:"duration_ns"`
 	Stages       []StageLatency `json:"stages,omitempty"`
 	Slow         bool           `json:"slow,omitempty"`
-	Error        string         `json:"error,omitempty"`
+	// Sampled reports the tail-sampling verdict: whether this request's
+	// trace was retained, and which rule kept it.
+	Sampled      bool   `json:"sampled"`
+	SampleReason string `json:"sample_reason,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // SlowEntry is one /debug/slow item: the request's identity and timing
 // plus its trace summary; the full span tree is at /debug/traces/<id>.
 type SlowEntry struct {
-	RequestID  string        `json:"request_id"`
-	Endpoint   string        `json:"endpoint"`
-	Document   string        `json:"document,omitempty"`
-	Question   string        `json:"question,omitempty"`
-	Time       string        `json:"time"`
-	DurationNs int64         `json:"duration_ns"`
-	Trace      *TraceSummary `json:"trace,omitempty"`
+	RequestID  string `json:"request_id"`
+	Endpoint   string `json:"endpoint"`
+	Document   string `json:"document,omitempty"`
+	Question   string `json:"question,omitempty"`
+	Time       string `json:"time"`
+	DurationNs int64  `json:"duration_ns"`
+	// SlowStage/SlowStageNs name the slowest top-level pipeline stage —
+	// what admitted the entry when the per-stage rule fired.
+	SlowStage   string        `json:"slow_stage,omitempty"`
+	SlowStageNs int64         `json:"slow_stage_ns,omitempty"`
+	Trace       *TraceSummary `json:"trace,omitempty"`
 }
 
 // Server serves the engine over HTTP. Construct with New; start with
@@ -115,6 +152,10 @@ type Server struct {
 	sessions int
 	reg      *obs.Registry
 	slowAt   time.Duration
+	stageAt  time.Duration
+	sampler  *obs.Sampler // nil = retain every trace
+	slo      *slo.Engine  // nil = no objectives declared
+	profiler *profiler    // nil = profiling capture disabled
 	store    *traceStore
 	logMu    sync.Mutex
 	logW     io.Writer
@@ -141,6 +182,10 @@ func New(cfg Config) (*Server, error) {
 	if slowAt == 0 {
 		slowAt = DefaultSlowThreshold
 	}
+	stageAt := cfg.SlowStageThreshold
+	if stageAt == 0 && slowAt > 0 {
+		stageAt = slowAt / 2
+	}
 	slowCap := cfg.SlowCapacity
 	if slowCap <= 0 {
 		slowCap = DefaultSlowCapacity
@@ -163,10 +208,36 @@ func New(cfg Config) (*Server, error) {
 		sessions: len(cfg.Engines),
 		reg:      reg,
 		slowAt:   slowAt,
+		stageAt:  stageAt,
 		store:    newTraceStore(traceCap, slowCap),
 		logW:     logW,
 		inflight: reg.Gauge("http_inflight"),
 		idPrefix: hex.EncodeToString(pfx[:]),
+	}
+	if cfg.Sampling != nil {
+		s.sampler = obs.NewSampler(*cfg.Sampling)
+	}
+	prof, err := newProfiler(cfg.Profile, reg)
+	if err != nil {
+		return nil, err
+	}
+	s.profiler = prof
+	if len(cfg.Objectives) > 0 {
+		eng, err := slo.New(slo.Config{
+			Objectives:    cfg.Objectives,
+			CheckInterval: cfg.SLOCheckInterval,
+			Registry:      reg,
+			OnFastBurn: func(r slo.ObjectiveReport) {
+				// A fast-burn alert is the error budget being destroyed
+				// right now: capture profiling evidence immediately.
+				reg.Add(obs.Labeled("slo_fast_burn_fired", "objective", r.Name), 1)
+				s.profiler.trigger("fast-burn:" + r.Name)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.slo = eng
 	}
 	for _, eng := range cfg.Engines {
 		eng.SetMetricsRegistry(reg)
@@ -221,9 +292,13 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /slo", s.handleSLO)
 	s.mux.HandleFunc("GET /debug/cache", s.handleCache)
 	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/profiles", s.handleProfiles)
+	s.mux.HandleFunc("GET /debug/profiles/{name}/{file}", s.handleProfileFile)
 
 	// Standard-library operational surfaces: pprof and expvar, wired
 	// onto this mux so a server never depends on http.DefaultServeMux.
@@ -305,10 +380,54 @@ func (s *Server) api(endpoint string, run func(*nalix.Engine, *Request) (*Respon
 		dur := time.Since(start)
 		s.pool <- eng
 
-		s.reg.Observe("http_"+endpoint+"_ns", float64(dur.Nanoseconds()))
 		rec.DurationNs = dur.Nanoseconds()
+		if s.slo != nil {
+			// Feedback rejections are the system working as designed
+			// (the paper's reformulation loop), so they count as good;
+			// only engine/transport failures and slow requests burn
+			// error budget.
+			s.slo.Record(endpoint, dur, err != nil)
+		}
+		s.profiler.note(dur)
 
+		feedbackCode := ""
+		if err == nil && !resp.Accepted {
+			feedbackCode = resp.FeedbackCode
+		}
+		// The tail-sampling verdict: made after completion, from the
+		// outcome. Without a policy every trace is retained.
+		verdict := obs.Verdict{Keep: true, Reason: "all"}
+		if s.sampler != nil {
+			verdict = s.sampler.Decide(dur, err != nil, feedbackCode)
+		}
+		rec.Sampled = verdict.Keep
+		rec.SampleReason = verdict.Reason
+		if verdict.Keep {
+			s.reg.Add(obs.Labeled("http_sampled", "reason", verdict.Reason), 1)
+			// Kept traces become exemplars: the histogram bucket of this
+			// latency now links to a trace that is actually retrievable.
+			s.reg.ObserveExemplar("http_"+endpoint+"_ns", float64(dur.Nanoseconds()), id)
+		} else {
+			s.reg.Observe("http_"+endpoint+"_ns", float64(dur.Nanoseconds()))
+		}
+
+		entry := &traceEntry{
+			ID:           id,
+			Endpoint:     endpoint,
+			Document:     req.Document,
+			Question:     rec.Question,
+			Time:         now,
+			Duration:     dur,
+			Trace:        tr,
+			SampleReason: verdict.Reason,
+		}
 		if err != nil {
+			// The engine returns no trace handle on errors; the entry
+			// still records the failure so the retained set explains it.
+			entry.Error = err.Error()
+			slow, _, _ := s.slowVerdict(dur, nil)
+			rec.Slow = slow
+			s.store.add(entry, verdict.Keep, slow)
 			s.reg.Add(obs.Labeled("http_errors", "code", "engine"), 1)
 			s.fail(w, rec, http.StatusUnprocessableEntity, id, endpoint, err)
 			return
@@ -319,16 +438,10 @@ func (s *Server) api(endpoint string, run func(*nalix.Engine, *Request) (*Respon
 			s.reg.Add(obs.Labeled("http_cache", "result", resp.Cache), 1)
 		}
 
-		slow := s.slowAt > 0 && dur >= s.slowAt
-		s.store.add(&traceEntry{
-			ID:       id,
-			Endpoint: endpoint,
-			Document: req.Document,
-			Question: rec.Question,
-			Time:     now,
-			Duration: dur,
-			Trace:    tr,
-		}, slow)
+		slow, slowStage, slowStageNs := s.slowVerdict(dur, resp.Trace)
+		entry.SlowStage = slowStage
+		entry.SlowStageNs = slowStageNs
+		s.store.add(entry, verdict.Keep, slow)
 
 		rec.Status = http.StatusOK
 		rec.Accepted = resp.Accepted
@@ -345,6 +458,29 @@ func (s *Server) api(endpoint string, run func(*nalix.Engine, *Request) (*Respon
 		s.logRecord(rec)
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// slowVerdict decides slow-ring admission: total wall time at/above the
+// wall-time threshold, or any single top-level pipeline stage at/above
+// the per-stage threshold — the stage rule catches requests whose total
+// squeaks under the wall threshold while one stage dominates it. The
+// slowest stage is reported either way, so slow entries name their
+// bottleneck.
+func (s *Server) slowVerdict(total time.Duration, sum *TraceSummary) (bool, string, int64) {
+	var stage string
+	var stageNs int64
+	if sum != nil {
+		for _, st := range sum.Stages {
+			if st.Ns > stageNs {
+				stage, stageNs = st.Stage, st.Ns
+			}
+		}
+	}
+	slow := s.slowAt > 0 && total >= s.slowAt
+	if !slow && s.stageAt > 0 && stageNs >= s.stageAt.Nanoseconds() {
+		slow = true
+	}
+	return slow, stage, stageNs
 }
 
 // fail records and writes an error response.
@@ -484,22 +620,118 @@ func mergeLayer(total *nalix.CacheLayerStats, st nalix.CacheLayerStats) {
 func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	entries, total := s.store.slowEntries()
 	out := struct {
-		ThresholdNs int64       `json:"threshold_ns"`
-		Total       int64       `json:"total"`
-		Entries     []SlowEntry `json:"entries"`
-	}{ThresholdNs: s.slowAt.Nanoseconds(), Total: total, Entries: []SlowEntry{}}
+		ThresholdNs      int64       `json:"threshold_ns"`
+		StageThresholdNs int64       `json:"stage_threshold_ns"`
+		Total            int64       `json:"total"`
+		Entries          []SlowEntry `json:"entries"`
+	}{
+		ThresholdNs:      s.slowAt.Nanoseconds(),
+		StageThresholdNs: s.stageAt.Nanoseconds(),
+		Total:            total,
+		Entries:          []SlowEntry{},
+	}
 	for _, e := range entries {
 		out.Entries = append(out.Entries, SlowEntry{
-			RequestID:  e.ID,
-			Endpoint:   e.Endpoint,
-			Document:   e.Document,
-			Question:   e.Question,
-			Time:       e.Time.UTC().Format(time.RFC3339Nano),
-			DurationNs: e.Duration.Nanoseconds(),
-			Trace:      SummarizeTrace(e.Trace),
+			RequestID:   e.ID,
+			Endpoint:    e.Endpoint,
+			Document:    e.Document,
+			Question:    e.Question,
+			Time:        e.Time.UTC().Format(time.RFC3339Nano),
+			DurationNs:  e.Duration.Nanoseconds(),
+			SlowStage:   e.SlowStage,
+			SlowStageNs: e.SlowStageNs,
+			Trace:       SummarizeTrace(e.Trace),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSLO serves the burn-rate report of the declared objectives.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeJSON(w, http.StatusOK, struct {
+			Enabled bool `json:"enabled"`
+		}{false})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool `json:"enabled"`
+		slo.Report
+	}{true, s.slo.Report()})
+}
+
+// TraceListEntry is one row of the /debug/traces listing.
+type TraceListEntry struct {
+	RequestID    string `json:"request_id"`
+	Endpoint     string `json:"endpoint"`
+	Time         string `json:"time"`
+	DurationNs   int64  `json:"duration_ns"`
+	SampleReason string `json:"sample_reason,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// handleTraceList serves the kept-trace ring, oldest first, plus the
+// sampler's decision accounting — the surface that shows what the
+// retention policy is actually keeping.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	entries, total := s.store.keptEntries()
+	out := struct {
+		Total   int64             `json:"total_kept"`
+		Sampler *obs.SamplerStats `json:"sampler,omitempty"`
+		Entries []TraceListEntry  `json:"entries"`
+	}{Total: total, Entries: []TraceListEntry{}}
+	if s.sampler != nil {
+		st := s.sampler.Stats()
+		out.Sampler = &st
+	}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, TraceListEntry{
+			RequestID:    e.ID,
+			Endpoint:     e.Endpoint,
+			Time:         e.Time.UTC().Format(time.RFC3339Nano),
+			DurationNs:   e.Duration.Nanoseconds(),
+			SampleReason: e.SampleReason,
+			Error:        e.Error,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleProfiles lists the capture ring.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.profiler == nil {
+		writeJSON(w, http.StatusOK, struct {
+			Enabled  bool          `json:"enabled"`
+			Captures []CaptureInfo `json:"captures"`
+		}{false, []CaptureInfo{}})
+		return
+	}
+	caps := s.profiler.list()
+	if caps == nil {
+		caps = []CaptureInfo{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Enabled  bool          `json:"enabled"`
+		Captures []CaptureInfo `json:"captures"`
+	}{true, caps})
+}
+
+// handleProfileFile serves one captured artifact (cpu.pprof, heap.pprof,
+// goroutine.txt, meta.json) by capture name.
+func (s *Server) handleProfileFile(w http.ResponseWriter, r *http.Request) {
+	name, file := r.PathValue("name"), r.PathValue("file")
+	if s.profiler == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "profiling capture is disabled"})
+		return
+	}
+	path, ok := s.profiler.open(name, file)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("no capture file %s/%s", name, file),
+		})
+		return
+	}
+	http.ServeFile(w, r, path)
 }
 
 // handleTrace serves one retained request's full span tree by ID.
@@ -513,23 +745,27 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := struct {
-		RequestID  string       `json:"request_id"`
-		Endpoint   string       `json:"endpoint"`
-		Document   string       `json:"document,omitempty"`
-		Question   string       `json:"question,omitempty"`
-		Time       string       `json:"time"`
-		DurationNs int64        `json:"duration_ns"`
-		Trace      *nalix.Trace `json:"trace"`
-		Rendered   string       `json:"rendered"`
+		RequestID    string       `json:"request_id"`
+		Endpoint     string       `json:"endpoint"`
+		Document     string       `json:"document,omitempty"`
+		Question     string       `json:"question,omitempty"`
+		Time         string       `json:"time"`
+		DurationNs   int64        `json:"duration_ns"`
+		SampleReason string       `json:"sample_reason,omitempty"`
+		Error        string       `json:"error,omitempty"`
+		Trace        *nalix.Trace `json:"trace"`
+		Rendered     string       `json:"rendered"`
 	}{
-		RequestID:  e.ID,
-		Endpoint:   e.Endpoint,
-		Document:   e.Document,
-		Question:   e.Question,
-		Time:       e.Time.UTC().Format(time.RFC3339Nano),
-		DurationNs: e.Duration.Nanoseconds(),
-		Trace:      e.Trace,
-		Rendered:   e.Trace.Render(),
+		RequestID:    e.ID,
+		Endpoint:     e.Endpoint,
+		Document:     e.Document,
+		Question:     e.Question,
+		Time:         e.Time.UTC().Format(time.RFC3339Nano),
+		DurationNs:   e.Duration.Nanoseconds(),
+		SampleReason: e.SampleReason,
+		Error:        e.Error,
+		Trace:        e.Trace,
+		Rendered:     e.Trace.Render(),
 	}
 	writeJSON(w, http.StatusOK, out)
 }

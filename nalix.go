@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"nalix/internal/cache"
 	"nalix/internal/core"
@@ -73,6 +74,61 @@ type Engine struct {
 	// corpusGen counts document mutations; result-cache keys embed it
 	// so no entry can outlive the corpus it was computed against.
 	corpusGen atomic.Int64
+
+	// policy filters which finished traces the recorder retains; nil
+	// keeps every trace (see SetTracePolicy). policySeen counts the
+	// traces no keep-rule claimed, for the deterministic 1-in-N trickle.
+	policy     *TracePolicy
+	policySeen atomic.Int64
+}
+
+// TracePolicy is a tail-based retention policy for the engine-global
+// trace ring: the keep/drop decision is made after a call finishes,
+// when its outcome is known, so the interesting traces survive
+// arbitrary traffic volume instead of being evicted by the flood. The
+// zero value keeps nothing but what the rules match; a nil policy (the
+// default) keeps every trace, preserving the historical behaviour.
+type TracePolicy struct {
+	// KeepErrors retains every trace whose call returned an error.
+	KeepErrors bool
+	// KeepRejected retains every trace whose question was rejected with
+	// feedback — the reformulation loop is debugged from exactly these.
+	KeepRejected bool
+	// MinLatency retains every trace at least this slow (0 disables).
+	MinLatency time.Duration
+	// SampleEvery retains 1 in N of the traces no other rule kept
+	// (0 drops them all; 1 keeps everything).
+	SampleEvery int
+}
+
+// SetTracePolicy installs a tail-based retention policy for the traces
+// EnableTracing retains (nil restores keep-everything). Like
+// EnableTracing, this is configuration: call it before sharing the
+// engine between goroutines. Per-request traces on Answer.Trace are
+// unaffected — the policy governs only the engine-global ring behind
+// RecentTraces.
+func (e *Engine) SetTracePolicy(p *TracePolicy) {
+	e.policy = p
+}
+
+// shouldRetain applies the trace policy to one finished call.
+func (e *Engine) shouldRetain(tr *obs.Trace, failed, rejected bool) bool {
+	p := e.policy
+	if p == nil {
+		return true
+	}
+	switch {
+	case failed && p.KeepErrors:
+		return true
+	case rejected && p.KeepRejected:
+		return true
+	case p.MinLatency > 0 && tr.Root().Duration() >= p.MinLatency:
+		return true
+	}
+	if p.SampleEvery <= 0 {
+		return false
+	}
+	return (e.policySeen.Add(1)-1)%int64(p.SampleEvery) == 0
 }
 
 // DefaultTraceCapacity is how many finished traces the engine retains
@@ -139,7 +195,9 @@ func (e *Engine) finishTrace(tr *obs.Trace, ans *Answer) *Trace {
 	}
 	tr.Finish()
 	tr.ObserveInto(e.registry())
-	e.rec.Record(tr)
+	if e.shouldRetain(tr, false, ans != nil && !ans.Accepted) {
+		e.rec.Record(tr)
+	}
 	snap := convertTrace(tr)
 	if ans != nil {
 		ans.Trace = snap
@@ -156,7 +214,11 @@ func (e *Engine) failTrace(tr *obs.Trace, err error) {
 		return
 	}
 	tr.Root().Set("error", err.Error())
-	e.finishTrace(tr, nil)
+	tr.Finish()
+	tr.ObserveInto(e.registry())
+	if e.shouldRetain(tr, true, false) {
+		e.rec.Record(tr)
+	}
 }
 
 // New returns an empty engine with the built-in generic thesaurus.

@@ -1,0 +1,81 @@
+package nalix
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTracePolicyRetention: with a tail policy installed, the engine
+// ring retains exactly the traces the rules claim — rejections and
+// errors survive, ordinary accepted traffic does not.
+func TestTracePolicyRetention(t *testing.T) {
+	e := newEngine(t)
+	e.EnableTracing(100)
+	e.SetTracePolicy(&TracePolicy{
+		KeepErrors:   true,
+		KeepRejected: true,
+		MinLatency:   time.Hour, // nothing is that slow
+		SampleEvery:  0,         // no trickle: the retained set is pure policy
+	})
+
+	// Accepted, fast, no error: dropped.
+	if _, err := e.Ask("", `Find the titles of books published by "Addison-Wesley".`); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.RecentTraces()); got != 0 {
+		t.Fatalf("retained %d traces after a normal ask, want 0", got)
+	}
+
+	// Rejected with feedback: kept.
+	ans, err := e.Ask("", "Return every book as cheap as possible.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Accepted {
+		t.Fatal("expected a rejection")
+	}
+	// Error path (unknown document): kept.
+	if _, err := e.Ask("nope.xml", "Find all books."); err == nil {
+		t.Fatal("expected an error for an unloaded document")
+	}
+	traces := e.RecentTraces()
+	if len(traces) != 2 {
+		t.Fatalf("retained %d traces, want 2 (rejection + error)", len(traces))
+	}
+
+	// The per-request answer trace is unaffected by the ring policy.
+	if ans.Trace == nil {
+		t.Error("policy suppressed the Answer.Trace snapshot")
+	}
+}
+
+// TestTracePolicySampleEvery: the 1-in-N trickle is deterministic over
+// traces no other rule kept.
+func TestTracePolicySampleEvery(t *testing.T) {
+	e := newEngine(t)
+	e.EnableTracing(100)
+	e.SetTracePolicy(&TracePolicy{SampleEvery: 3})
+	const m = 10
+	for i := 0; i < m; i++ {
+		if _, err := e.Ask("", `Find the titles of books published by "Addison-Wesley".`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := len(e.RecentTraces()), (m+2)/3; got != want {
+		t.Errorf("retained %d of %d, want exactly %d (1 in 3)", got, m, want)
+	}
+}
+
+// TestTracePolicyNilKeepsAll pins the back-compat default.
+func TestTracePolicyNilKeepsAll(t *testing.T) {
+	e := newEngine(t)
+	e.EnableTracing(100)
+	for i := 0; i < 5; i++ {
+		if _, err := e.Ask("", `Find the titles of books published by "Addison-Wesley".`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(e.RecentTraces()); got != 5 {
+		t.Errorf("retained %d traces with no policy, want all 5", got)
+	}
+}
