@@ -99,16 +99,18 @@ func answerSize(k string, a *Answer) int64 {
 }
 
 // resultKey is the result-cache key for one Ask: corpus generation,
-// ontology generation, resolved document name, canonical sentence. The
-// generations make every corpus or vocabulary mutation an implicit
-// invalidation of all earlier entries.
+// ontology generation, shard count, resolved document name, canonical
+// sentence. The generations make every corpus or vocabulary mutation an
+// implicit invalidation of all earlier entries; the shard count keys
+// sharded and unsharded runs separately (SetShards also bumps the
+// corpus generation, this makes the topology visible in the key).
 func (e *Engine) resultKey(docName, english string) string {
 	name := docName
 	if name == "" {
 		name = e.defName
 	}
-	return fmt.Sprintf("c%d|o%d|%s|%s",
-		e.corpusGen.Load(), e.ont.Generation(), name, cache.CanonicalQuery(english))
+	return fmt.Sprintf("c%d|o%d|s%d|%s|%s",
+		e.corpusGen.Load(), e.ont.Generation(), e.Shards(), name, cache.CanonicalQuery(english))
 }
 
 // serveCached returns a copy of a stored answer marked Cached, finishing

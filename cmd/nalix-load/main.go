@@ -62,6 +62,8 @@ func main() {
 	url := flag.String("url", "", "base URL of a running nalix-serve (empty with -self)")
 	self := flag.Bool("self", false, "spin up an in-process server instead of targeting -url")
 	corpus := flag.String("corpus", "bib", "corpus for -self: movies, library, bib or dblp")
+	scale := flag.Int("scale", 1, "corpus scale for -self -corpus dblp (1 ≈ 73k nodes, 14 ≈ 1M, 140 ≈ 10M)")
+	shards := flag.Int("shards", 1, "document shards per -self session; >1 evaluates scatter-gather in parallel")
 	sessions := flag.Int("sessions", runtime.GOMAXPROCS(0), "engine sessions for -self")
 	endpoint := flag.String("endpoint", "ask", "endpoint to drive: ask, translate, query or keyword")
 	question := flag.String("question", `Find all books published by "Addison-Wesley" after 1991.`, "question (or raw XQuery for -endpoint query)")
@@ -76,7 +78,7 @@ func main() {
 	flag.Var(&objectives, "slo", "objective for the -self server, name:availability[:latency] (repeatable; default <endpoint>:99:250ms with -slo-report)")
 	flag.Parse()
 
-	if err := run(*url, *self, *corpus, *sessions, *endpoint, *question, *document, *n, *c, *out, *nocache, *sample, *sloReport, objectives); err != nil {
+	if err := run(*url, *self, *corpus, *scale, *shards, *sessions, *endpoint, *question, *document, *n, *c, *out, *nocache, *sample, *sloReport, objectives); err != nil {
 		fmt.Fprintln(os.Stderr, "nalix-load:", err)
 		os.Exit(1)
 	}
@@ -91,6 +93,8 @@ type result struct {
 	Requests    int     `json:"requests"`
 	Concurrency int     `json:"concurrency"`
 	Sessions    int     `json:"sessions,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	CorpusNodes int     `json:"corpus_nodes,omitempty"`
 	Errors      int     `json:"errors"`
 	LatencyUs   latency `json:"latency_us"`
 	RPS         float64 `json:"throughput_rps"`
@@ -109,7 +113,7 @@ type latency struct {
 	Mean float64 `json:"mean"`
 }
 
-func run(url string, self bool, corpus string, sessions int, endpoint, question, document string, n, c int, out string, nocache, sample, sloReport bool, objectives []slo.Objective) error {
+func run(url string, self bool, corpus string, scale, shards, sessions int, endpoint, question, document string, n, c int, out string, nocache, sample, sloReport bool, objectives []slo.Objective) error {
 	if (url == "") == !self {
 		return fmt.Errorf("exactly one of -url or -self is required")
 	}
@@ -133,14 +137,24 @@ func run(url string, self bool, corpus string, sessions int, endpoint, question,
 			}
 			objectives = append(objectives, obj)
 		}
-		ts, err := selfServer(corpus, sessions, nocache, sample, objectives)
+		ts, nodes, err := selfServer(corpus, scale, shards, sessions, nocache, sample, objectives)
 		if err != nil {
 			return err
 		}
 		defer ts.Close()
 		url = ts.URL
 		res.Sessions = sessions
+		res.CorpusNodes = nodes
+		if shards > 1 {
+			res.Shards = shards
+		}
 		res.Command = fmt.Sprintf("go run ./cmd/nalix-load -self -corpus %s -sessions %d -endpoint %s -n %d -c %d", corpus, sessions, endpoint, n, c)
+		if scale > 1 {
+			res.Command += fmt.Sprintf(" -scale %d", scale)
+		}
+		if shards > 1 {
+			res.Command += fmt.Sprintf(" -shards %d", shards)
+		}
 		if sample {
 			res.Command += " -sample"
 		}
@@ -292,18 +306,15 @@ func fetchSLO(target string) (json.RawMessage, error) {
 	return json.RawMessage(b), nil
 }
 
-// selfServer stands up an in-process server over the named corpus.
-func selfServer(corpus string, sessions int, nocache, sample bool, objectives []slo.Objective) (*httptest.Server, error) {
+// selfServer stands up an in-process server over the named corpus,
+// returning the corpus node count alongside the server.
+func selfServer(corpus string, scale, shards, sessions int, nocache, sample bool, objectives []slo.Objective) (*httptest.Server, int, error) {
 	if sessions < 1 {
 		sessions = 1
 	}
-	doc, err := corpusDoc(corpus)
+	doc, err := corpusDoc(corpus, scale)
 	if err != nil {
-		return nil, err
-	}
-	var sb strings.Builder
-	if err := dataset.WriteXML(&sb, doc); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	reg := obs.NewRegistry()
 	engines := make([]*nalix.Engine, sessions)
@@ -315,9 +326,12 @@ func selfServer(corpus string, sessions int, nocache, sample bool, objectives []
 		if !nocache {
 			e.EnableCache(nalix.CacheConfig{})
 		}
-		if err := e.LoadXMLString(doc.Name, sb.String()); err != nil {
-			return nil, err
+		if shards > 1 {
+			e.SetShards(shards)
 		}
+		// One shared, prewarmed document across the session pool: the
+		// scaled corpora are too large to copy per session.
+		e.LoadDocument(doc)
 		engines[i] = e
 	}
 	cfg := server.Config{
@@ -331,12 +345,12 @@ func selfServer(corpus string, sessions int, nocache, sample bool, objectives []
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return httptest.NewServer(srv.Handler()), nil
+	return httptest.NewServer(srv.Handler()), doc.Size(), nil
 }
 
-func corpusDoc(corpus string) (*xmldb.Document, error) {
+func corpusDoc(corpus string, scale int) (*xmldb.Document, error) {
 	switch corpus {
 	case "movies":
 		return dataset.Movies(), nil
@@ -345,7 +359,7 @@ func corpusDoc(corpus string) (*xmldb.Document, error) {
 	case "bib":
 		return dataset.Bib(), nil
 	case "dblp":
-		return dataset.Generate(1), nil
+		return dataset.Generate(scale), nil
 	}
 	return nil, fmt.Errorf("unknown corpus %q (movies, library, bib, dblp)", corpus)
 }

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	nalix-serve [-addr :8080] [-doc file.xml | -corpus movies|library|bib|dblp]
+//	            [-scale 1] [-shards 1]
 //	            [-sessions N] [-slow 500ms] [-slow-stage 250ms] [-access-log path]
 //	            [-sample] [-sample-every 20] [-sample-threshold 0]
 //	            [-slo ask:99.9:250ms] [-slo query:99:100ms]
@@ -49,6 +50,8 @@ type options struct {
 	addr      string
 	docPath   string
 	corpus    string
+	scale     int
+	shards    int
 	sessions  int
 	slow      time.Duration
 	slowStage time.Duration
@@ -97,6 +100,8 @@ func main() {
 	flag.StringVar(&opt.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&opt.docPath, "doc", "", "XML file to serve")
 	flag.StringVar(&opt.corpus, "corpus", "bib", "built-in corpus when -doc is absent: movies, library, bib or dblp")
+	flag.IntVar(&opt.scale, "scale", 1, "corpus scale factor for -corpus dblp (1 ≈ 73k nodes, 14 ≈ 1M, 140 ≈ 10M)")
+	flag.IntVar(&opt.shards, "shards", 1, "document shards per session; >1 evaluates queries scatter-gather in parallel")
 	flag.IntVar(&opt.sessions, "sessions", runtime.GOMAXPROCS(0), "engine sessions (bounds concurrent evaluations)")
 	flag.DurationVar(&opt.slow, "slow", server.DefaultSlowThreshold, "slow-query wall-time threshold (negative disables)")
 	flag.DurationVar(&opt.slowStage, "slow-stage", 0, "slow-query per-stage threshold (0 derives half of -slow; negative disables)")
@@ -126,7 +131,7 @@ func run(opt options) error {
 	if opt.sessions < 1 {
 		opt.sessions = 1
 	}
-	name, xml, err := corpusXML(opt.docPath, opt.corpus)
+	doc, err := corpusDoc(opt.docPath, opt.corpus, opt.scale)
 	if err != nil {
 		return err
 	}
@@ -138,11 +143,16 @@ func run(opt options) error {
 		if !opt.nocache {
 			e.EnableCache(nalix.CacheConfig{})
 		}
-		if err := e.LoadXMLString(name, xml); err != nil {
-			return err
+		if opt.shards > 1 {
+			e.SetShards(opt.shards)
 		}
+		// One shared, prewarmed document: at -scale 14 the corpus is a
+		// million nodes, so per-session copies would multiply load time
+		// and resident memory by the session count.
+		e.LoadDocument(doc)
 		engines[i] = e
 	}
+	name := doc.Name
 
 	var logW io.Writer = os.Stderr
 	if opt.accessLog != "" {
@@ -189,8 +199,8 @@ func run(opt options) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	served := make(chan error, 1)
 	go func() { served <- srv.ListenAndServe(opt.addr) }()
-	fmt.Fprintf(os.Stderr, "nalix-serve: serving %s on %s (%d sessions, slow >= %v, sampling %v, %d objectives)\n",
-		name, opt.addr, opt.sessions, opt.slow, opt.sample, len(opt.objectives))
+	fmt.Fprintf(os.Stderr, "nalix-serve: serving %s on %s (%d nodes, %d sessions, %d shards, slow >= %v, sampling %v, %d objectives)\n",
+		name, opt.addr, doc.Size(), opt.sessions, opt.shards, opt.slow, opt.sample, len(opt.objectives))
 
 	select {
 	case err := <-served:
@@ -206,32 +216,26 @@ func run(opt options) error {
 	}
 }
 
-// corpusXML resolves the document to serve: an on-disk file, or a
-// built-in corpus serialized to XML.
-func corpusXML(docPath, corpus string) (name, xml string, err error) {
+// corpusDoc resolves the document to serve: an on-disk file, or a
+// built-in corpus (with -scale applied to the generated dblp corpus).
+func corpusDoc(docPath, corpus string, scale int) (*xmldb.Document, error) {
 	if docPath != "" {
-		b, err := os.ReadFile(docPath)
+		f, err := os.Open(docPath)
 		if err != nil {
-			return "", "", err
+			return nil, err
 		}
-		return filepath.Base(docPath), string(b), nil
+		defer f.Close()
+		return xmldb.Parse(filepath.Base(docPath), f)
 	}
-	var doc *xmldb.Document
 	switch corpus {
 	case "movies":
-		doc = dataset.Movies()
+		return dataset.Movies(), nil
 	case "library":
-		doc = dataset.Library()
+		return dataset.Library(), nil
 	case "bib":
-		doc = dataset.Bib()
+		return dataset.Bib(), nil
 	case "dblp":
-		doc = dataset.Generate(1)
-	default:
-		return "", "", fmt.Errorf("unknown corpus %q (movies, library, bib, dblp)", corpus)
+		return dataset.Generate(scale), nil
 	}
-	var sb strings.Builder
-	if err := dataset.WriteXML(&sb, doc); err != nil {
-		return "", "", err
-	}
-	return doc.Name, sb.String(), nil
+	return nil, fmt.Errorf("unknown corpus %q (movies, library, bib, dblp)", corpus)
 }

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // LockCheck enforces consistent mutex discipline inside a package: for
@@ -16,7 +17,18 @@ import (
 //
 // The analysis is lexical and per-function (it does not follow calls),
 // which matches how the repo's guarded caches are written: short
-// methods that Lock, touch the field, and defer Unlock.
+// methods that Lock, touch the field, and defer Unlock. Two idioms are
+// recognized as held without a visible Lock in the function:
+//
+//   - the caller-holds contract: a function whose name ends in "Locked"
+//     or whose doc comment says "callers hold" / "caller holds" is a
+//     helper the locked methods delegate to — its accesses are exempt,
+//     but (unlike a visible Lock) do not impose lock discipline on the
+//     fields they touch, since the pass cannot see which callees of the
+//     contract-holder share the contract;
+//   - construction: accesses through a local variable initialized from
+//     a composite literal in the same function touch a struct no other
+//     goroutine can see yet.
 var LockCheck = &Pass{
 	Name: "lockcheck",
 	Doc:  "flag unguarded accesses to mutex-protected struct fields",
@@ -46,6 +58,11 @@ func runLockCheck(u *Unit) []Diagnostic {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
+				continue
+			}
+			if callerHoldsLock(fd) {
+				// Accesses in a caller-holds helper are guarded by
+				// contract: exempt from flagging, silent on discipline.
 				continue
 			}
 			accesses = append(accesses, collectAccesses(u, guarded, fd)...)
@@ -143,6 +160,8 @@ func collectAccesses(u *Unit, guarded map[string]*guardedStruct, fd *ast.FuncDec
 		pos        token.Pos
 	}
 
+	constructed := constructedLocals(fd)
+
 	record := func(call *ast.CallExpr, deferred bool) bool {
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok {
@@ -209,6 +228,12 @@ func collectAccesses(u *Unit, guarded map[string]*guardedStruct, fd *ast.FuncDec
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 	var out []fieldAccess
 	for _, a := range raw {
+		if constructed[a.base] {
+			// A struct still local to its constructor cannot be shared;
+			// skip rather than mark locked so construction does not
+			// impose lock discipline on a field by itself.
+			continue
+		}
 		depth := 0
 		for _, e := range events {
 			if e.pos >= a.pos || e.base != a.base {
@@ -224,6 +249,51 @@ func collectAccesses(u *Unit, guarded map[string]*guardedStruct, fd *ast.FuncDec
 			structName: a.structName, field: a.field, pos: a.pos, locked: depth > 0,
 		})
 	}
+	return out
+}
+
+// callerHoldsLock reports whether the function declares the
+// caller-holds contract: a "...Locked" name suffix or a doc comment
+// stating that callers hold the mutex.
+func callerHoldsLock(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc == nil {
+		return false
+	}
+	text := strings.ToLower(fd.Doc.Text())
+	return strings.Contains(text, "callers hold") || strings.Contains(text, "caller holds")
+}
+
+// constructedLocals collects the names of local variables initialized
+// from composite literals (x := T{...}, x := &T{...}) anywhere in the
+// function — the construction idiom, where the value is not yet shared.
+func constructedLocals(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
 	return out
 }
 

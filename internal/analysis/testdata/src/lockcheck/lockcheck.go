@@ -65,3 +65,28 @@ func (r *RW) Load(k string) int {
 func (r *RW) Store(k string, v int) {
 	r.m[k] = v // want lockcheck
 }
+
+// addLocked bumps the counter. Callers hold c.mu.
+func (c *Counter) addLocked(delta int) {
+	c.n += delta
+}
+
+// snapshotLocked reads without locking; the "Locked" suffix declares
+// the caller-holds contract.
+func (c *Counter) snapshotLocked() int {
+	return c.n
+}
+
+// NewCounter builds a counter; accesses through the constructor-local
+// value are unshared and exempt.
+func NewCounter(start int) *Counter {
+	c := &Counter{}
+	c.n = start
+	return c
+}
+
+// Reset forgets the lock even though construction elsewhere touched the
+// same field bare.
+func (c *Counter) Reset() {
+	c.n = 0 // want lockcheck
+}

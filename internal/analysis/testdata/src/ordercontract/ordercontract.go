@@ -62,3 +62,40 @@ func Names(t *Tree) []string {
 func pick(t *Tree) []*Node {
 	return t.nodes
 }
+
+// MergeByPre merges Pre-sorted streams into one Pre-sorted slice — the
+// shard-store merge shape: variadic node-slice input, node-slice output.
+func MergeByPre(streams ...[]*Node) []*Node {
+	var out []*Node
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Gather concatenates per-shard results.
+func Gather(parts [][]*Node) []*Node { // want ordercontract "does not state the result order"
+	var out []*Node
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Window returns the nodes with lo <= Pre <= hi; the input order is
+// preserved.
+func Window(nodes []*Node, lo, hi int) []*Node {
+	var out []*Node
+	for _, n := range nodes {
+		if n.Pre >= lo && n.Pre <= hi {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Ranges describes a partition of [0, maxPre] — int pairs, not nodes,
+// so no contract is demanded even without order wording.
+func Ranges(n, maxPre int) [][2]int {
+	return make([][2]int, n)
+}

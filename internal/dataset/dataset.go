@@ -7,6 +7,8 @@
 package dataset
 
 import (
+	"bufio"
+	"encoding/xml"
 	"fmt"
 	"io"
 	"math/rand"
@@ -60,9 +62,107 @@ const libraryXML = `
 func Bib() *xmldb.Document {
 	b := xmldb.NewBuilder("bib.xml")
 	b.Open("bib")
-	seedBooks(b)
+	seedBooks(builderEmitter{b})
 	b.Close()
 	return b.Document()
+}
+
+// emitter receives the generated corpus structure. The generator is
+// written against this interface so one generation pass can either build
+// an in-memory document (builderEmitter) or stream serialized XML
+// without materializing the tree (streamEmitter) — the two outputs are
+// byte-identical after serialization.
+type emitter interface {
+	Open(label string, attrs ...string)
+	Leaf(label, text string)
+	Close()
+}
+
+// builderEmitter adapts xmldb.Builder to the emitter interface.
+type builderEmitter struct{ b *xmldb.Builder }
+
+func (e builderEmitter) Open(label string, attrs ...string) { e.b.Open(label, attrs...) }
+func (e builderEmitter) Leaf(label, text string)            { e.b.Leaf(label, text) }
+func (e builderEmitter) Close()                             { e.b.Close() }
+
+// streamEmitter serializes elements as they are generated, reproducing
+// xmldb.Serialize's byte format exactly (no whitespace, xml.EscapeText
+// escaping, childless elements self-closed), and counts the nodes a
+// parse of the output would load. Errors stick: the first write failure
+// is kept and later calls are no-ops.
+type streamEmitter struct {
+	w     *bufio.Writer
+	err   error
+	stack []streamFrame
+	nodes int64 // document + element + attribute + text nodes emitted
+}
+
+type streamFrame struct {
+	label      string
+	hasContent bool // any non-attribute child seen
+}
+
+func (e *streamEmitter) write(s string) {
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *streamEmitter) escape(s string) {
+	if e.err == nil {
+		e.err = xml.EscapeText(e.w, []byte(s))
+	}
+}
+
+// enterContent closes the pending start tag of the current element (if
+// any) before a child or text is written.
+func (e *streamEmitter) enterContent() {
+	if len(e.stack) == 0 {
+		return
+	}
+	top := &e.stack[len(e.stack)-1]
+	if !top.hasContent {
+		top.hasContent = true
+		e.write(">")
+	}
+}
+
+func (e *streamEmitter) Open(label string, attrs ...string) {
+	e.enterContent()
+	e.write("<" + label)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		e.write(" " + attrs[i] + `="`)
+		e.escape(attrs[i+1])
+		e.write(`"`)
+		e.nodes++
+	}
+	e.nodes++
+	e.stack = append(e.stack, streamFrame{label: label})
+}
+
+func (e *streamEmitter) Text(s string) {
+	e.enterContent()
+	e.escape(s)
+	e.nodes++
+}
+
+func (e *streamEmitter) Leaf(label, text string) {
+	e.Open(label)
+	e.Text(text)
+	e.Close()
+}
+
+func (e *streamEmitter) Close() {
+	if len(e.stack) == 0 {
+		return
+	}
+	top := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	if top.hasContent {
+		e.write("</" + top.label + ">")
+	} else {
+		e.write("/>")
+	}
 }
 
 // Movies returns the Fig. 1 movies document.
@@ -151,9 +251,38 @@ func Generate(scale int) *xmldb.Document {
 // and articles (plus the four seeded XMP books). Used by benchmarks that
 // need smaller or skewed corpora; Generate(1) is the paper's setup.
 func GenerateEntries(nBooks, nArticles int) *xmldb.Document {
-	rng := rand.New(rand.NewSource(20060321)) // EDBT 2006 camera-ready date
 	b := xmldb.NewBuilder("dblp.xml")
 	b.Open("dblp")
+	emitEntries(builderEmitter{b}, nBooks, nArticles)
+	b.Close()
+	return b.Document()
+}
+
+// WriteXMLTo streams the corpus GenerateEntries(nBooks, nArticles) would
+// build, serialized exactly as WriteXML would serialize it, without
+// materializing the document: peak memory is the write buffer, so
+// ten-million-node corpora stream in constant space. Returns the number
+// of nodes a parse of the output loads (document, element, attribute and
+// text nodes — the doc.Size() of the corpus).
+func WriteXMLTo(w io.Writer, nBooks, nArticles int) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	em := &streamEmitter{w: bw, nodes: 1} // the document node
+	em.write(`<?xml version="1.0"?>` + "\n")
+	em.Open("dblp")
+	emitEntries(em, nBooks, nArticles)
+	em.Close()
+	em.write("\n")
+	if em.err != nil {
+		return 0, em.err
+	}
+	return em.nodes, bw.Flush()
+}
+
+// emitEntries generates the corpus body (seed books, then books, then
+// articles) against an emitter. The rng seeding makes the output a pure
+// function of the entry counts, whichever emitter consumes it.
+func emitEntries(b emitter, nBooks, nArticles int) {
+	rng := rand.New(rand.NewSource(20060321)) // EDBT 2006 camera-ready date
 
 	// The four XMP bib.xml books seed the corpus, so the use-case
 	// queries have their canonical answers (with price replaced by the
@@ -208,13 +337,11 @@ func GenerateEntries(nBooks, nArticles int) *xmldb.Document {
 		}
 		b.Close()
 	}
-	b.Close()
-	return b.Document()
 }
 
 // seedBooks emits the XMP bib.xml sample entries (year attribute standing
 // in for price, as in the paper's evaluation setup).
-func seedBooks(b *xmldb.Builder) {
+func seedBooks(b emitter) {
 	b.Open("book", "year", "1994")
 	b.Leaf("title", "TCP/IP Illustrated")
 	b.Leaf("author", "W. Stevens")

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+// TestWriteXMLToByteIdentical is the streaming-path contract: the
+// streamed serialization must be byte-for-byte what WriteXML produces
+// from the materialized document, so corpora generated either way are
+// interchangeable (CI caches stream-generated files, benchmarks load
+// materialized trees).
+func TestWriteXMLToByteIdentical(t *testing.T) {
+	const nBooks, nArticles = 150, 300
+	var materialized bytes.Buffer
+	if err := WriteXML(&materialized, GenerateEntries(nBooks, nArticles)); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	nodes, err := WriteXMLTo(&streamed, nBooks, nArticles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(materialized.Bytes(), streamed.Bytes()) {
+		a, b := materialized.String(), streamed.String()
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 40
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("streamed output diverges from WriteXML at byte %d:\nmaterialized: …%q\nstreamed:     …%q",
+			i, a[lo:min(i+40, len(a))], b[lo:min(i+40, len(b))])
+	}
+	if nodes != int64(GenerateEntries(nBooks, nArticles).Size()) {
+		t.Fatalf("WriteXMLTo reported %d nodes, document has %d", nodes, GenerateEntries(nBooks, nArticles).Size())
+	}
+}
+
+// TestWriteXMLToReparses checks the streamed corpus loads back into the
+// node count the stream reported.
+func TestWriteXMLToReparses(t *testing.T) {
+	var buf bytes.Buffer
+	nodes, err := WriteXMLTo(&buf, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := xmldb.Parse("dblp.xml", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(d.Size()) != nodes {
+		t.Fatalf("parsed %d nodes, stream reported %d", d.Size(), nodes)
+	}
+}

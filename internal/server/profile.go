@@ -145,19 +145,28 @@ func (p *profiler) trigger(reason string) bool {
 	if p == nil {
 		return false
 	}
-	p.mu.Lock()
-	if p.busy || (!p.last.IsZero() && time.Since(p.last) < p.cooldown) {
-		p.mu.Unlock()
+	seq, ok := p.tryAcquire()
+	if !ok {
 		p.reg.Add(obs.Labeled("profile_captures_declined", "trigger", reason), 1)
 		return false
+	}
+	go p.capture(seq, reason)
+	return true
+}
+
+// tryAcquire claims the single capture slot, refusing while a capture
+// runs or the cooldown has not elapsed, and returns the capture
+// sequence number on success.
+func (p *profiler) tryAcquire() (seq int64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.busy || (!p.last.IsZero() && time.Since(p.last) < p.cooldown) {
+		return 0, false
 	}
 	p.busy = true
 	p.last = time.Now()
 	p.seq++
-	seq := p.seq
-	p.mu.Unlock()
-	go p.capture(seq, reason)
-	return true
+	return p.seq, true
 }
 
 // capture collects one incident's evidence: goroutine and heap

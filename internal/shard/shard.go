@@ -1,0 +1,335 @@
+// Package shard partitions loaded documents into contiguous Pre-range
+// shards and evaluates XQuery programs scatter-gather: one windowed
+// engine per shard runs the compiled program over its slice of the
+// driving clause on a bounded worker pool, and the per-shard results are
+// gathered back in shard order.
+//
+// Partitioning is at subtree granularity under the root element: shard
+// boundaries fall only between top-level entries (the children of
+// RootElement — bib's books and articles), never inside one. Every MLCA
+// witness the paper's queries can produce relates nodes of one entry
+// subtree, so each witness is shard-local by construction and the
+// per-shard structural joins never need cross-shard probes. All shards
+// share one immutable document (indexes prewarmed at load time, see
+// xmldb.Document.PrewarmValueIndexes); what differs per shard is the
+// evaluation window the engine applies to the query's driving clause
+// (see xquery.Engine.SetEvalWindow for the correctness argument).
+//
+// Queries that cannot be partitioned by a driving clause — order-by
+// queries, non-FLWOR expressions — are routed to the unwindowed
+// fallback engine, which shares the same documents, so every query is
+// answered and answers are byte-identical to the single-engine result.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nalix/internal/obs"
+	"nalix/internal/xmldb"
+	"nalix/internal/xquery"
+)
+
+var (
+	shardEvals    = obs.NewCounter("shard_evals_total")
+	shardMergeNs  = obs.NewCounter("shard_merge_ns")
+	shardFallback = obs.NewCounter("shard_fallback_total")
+)
+
+// Range is one shard's contiguous Pre interval, inclusive on both ends.
+// A Range with Lo > Hi is empty (more shards than top-level entries).
+type Range struct {
+	Lo, Hi int
+}
+
+// Store is a sharded view over an xquery engine's documents. Configure
+// it fully (AddDocument, SetWorkers) before evaluating; evaluation is
+// safe for concurrent use — per-shard engines serialize their own
+// evaluations, and scatter state is per-call.
+type Store struct {
+	n       int
+	workers int
+	full    *xquery.Engine
+	engines []*xquery.Engine
+	ranges  map[string][]Range
+}
+
+// NewStore creates a store with n shards (clamped to at least 1) that
+// routes non-shardable queries to full, which the caller keeps owning:
+// documents added here are also added to it, so it stays a complete
+// unsharded evaluator over the same corpus.
+func NewStore(n int, full *xquery.Engine) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{
+		n:       n,
+		workers: runtime.GOMAXPROCS(0),
+		full:    full,
+		engines: make([]*xquery.Engine, n),
+		ranges:  make(map[string][]Range),
+	}
+	for k := range s.engines {
+		s.engines[k] = xquery.NewEngine()
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return s.n }
+
+// SetWorkers bounds the scatter pool: at most w shard evaluations run
+// concurrently (clamped to at least 1; the default is GOMAXPROCS).
+func (s *Store) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	s.workers = w
+}
+
+// AddDocument partitions d across the shards and registers it with the
+// fallback engine and every shard engine. The document's value indexes
+// are prewarmed so the shards can probe it concurrently without
+// synchronization.
+func (s *Store) AddDocument(d *xmldb.Document) {
+	d.PrewarmValueIndexes()
+	s.full.AddDocument(d)
+	rs := Partition(d, s.n)
+	s.ranges[d.Name] = rs
+	for k, eng := range s.engines {
+		eng.AddDocument(d)
+		eng.SetEvalWindow(d.Name, rs[k].Lo, rs[k].Hi)
+	}
+}
+
+// Ranges returns the Pre ranges the named document was partitioned into
+// (empty name: the default document), one per shard, in shard order.
+func (s *Store) Ranges(docName string) []Range {
+	d, ok := s.full.Document(docName)
+	if !ok {
+		return nil
+	}
+	return s.ranges[d.Name]
+}
+
+// Partition splits d into n contiguous Pre ranges that cover
+// [0, d.Size()-1] exactly, cutting only at top-level entry boundaries
+// (children of the root element) so no entry subtree is split. Entries
+// are assigned greedily against the remaining-average target, which
+// keeps shards balanced by node count even under adversarial
+// subtree-size skew; when n exceeds the entry count, trailing shards
+// get empty ranges.
+func Partition(d *xmldb.Document, n int) []Range {
+	if n < 1 {
+		n = 1
+	}
+	maxPre := d.Size() - 1
+	var entries []*xmldb.Node
+	if root := d.RootElement(); root != nil {
+		for _, c := range root.Children {
+			if c.Kind == xmldb.ElementNode {
+				entries = append(entries, c)
+			}
+		}
+	}
+	ranges := make([]Range, 0, n)
+	lo, ei := 0, 0
+	for k := 0; k < n; k++ {
+		if k == n-1 {
+			// Last shard takes everything left, keeping coverage exact.
+			ranges = append(ranges, Range{Lo: lo, Hi: maxPre})
+			return ranges
+		}
+		if ei >= len(entries) {
+			ranges = append(ranges, Range{Lo: lo, Hi: lo - 1})
+			continue
+		}
+		remaining := maxPre - lo + 1
+		target := (remaining + (n - k) - 1) / (n - k)
+		hi := lo - 1
+		for ei < len(entries) {
+			end := maxPre
+			if ei+1 < len(entries) {
+				end = entries[ei+1].Pre - 1
+			}
+			hi = end
+			ei++
+			if hi-lo+1 >= target {
+				break
+			}
+		}
+		ranges = append(ranges, Range{Lo: lo, Hi: hi})
+		lo = hi + 1
+	}
+	return ranges
+}
+
+// Eval evaluates a parsed expression across the shards. See EvalTraced.
+func (s *Store) Eval(expr xquery.Expr) (xquery.Sequence, error) {
+	return s.EvalTraced(expr, nil)
+}
+
+// EvalTraced scatters expr across the shard engines on the worker pool
+// and gathers the per-shard results in shard order, which reproduces
+// the unsharded result byte for byte (shards are contiguous Pre ranges
+// and result order is driven by the windowed clause's bindings). A
+// non-shardable expression evaluates on the unwindowed fallback engine
+// instead. When sp is non-nil it receives pre-measured per-shard child
+// spans plus a "merge" span for the gather.
+func (s *Store) EvalTraced(expr xquery.Expr, sp *obs.Span) (xquery.Sequence, error) {
+	if s.n == 1 || !s.full.Shardable(expr) {
+		shardFallback.Add(1)
+		return s.full.EvalTraced(expr, sp)
+	}
+	type shardResult struct {
+		seq xquery.Sequence
+		err error
+		dur time.Duration
+	}
+	out := make([]shardResult, s.n)
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for k := range s.engines {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			seq, err := s.engines[k].EvalTraced(expr, nil)
+			out[k] = shardResult{seq: seq, err: err, dur: time.Since(t0)}
+		}(k)
+	}
+	wg.Wait()
+	shardEvals.Add(int64(s.n))
+	if sp != nil {
+		sp.SetInt("shards", int64(s.n))
+		for k := range out {
+			sp.AddChild(fmt.Sprintf("shard%d", k), out[k].dur)
+		}
+	}
+	for k := range out {
+		if out[k].err != nil {
+			// Deterministic error reporting: lowest shard index wins.
+			return nil, fmt.Errorf("shard %d: %w", k, out[k].err)
+		}
+	}
+	t0 := time.Now()
+	total := 0
+	for k := range out {
+		total += len(out[k].seq)
+	}
+	merged := make(xquery.Sequence, 0, total)
+	for k := range out {
+		merged = append(merged, out[k].seq...)
+	}
+	mergeDur := time.Since(t0)
+	shardMergeNs.Add(mergeDur.Nanoseconds())
+	if sp != nil {
+		sp.AddChild("merge", mergeDur)
+	}
+	return merged, nil
+}
+
+// FlushStats publishes pending batched statistics of the fallback and
+// every shard engine. Call when abandoning the store so short runs
+// report exact counts.
+func (s *Store) FlushStats() {
+	s.full.FlushStats()
+	for _, eng := range s.engines {
+		eng.FlushStats()
+	}
+}
+
+// NodesByLabel returns the named document's nodes with the given label,
+// re-assembled from the per-shard streams with MergeByPre; the result
+// is Pre-sorted, i.e. in document order, and must not be modified.
+func (s *Store) NodesByLabel(docName, label string) []*xmldb.Node {
+	d, ok := s.full.Document(docName)
+	if !ok {
+		return nil
+	}
+	all := d.NodesByLabel(label)
+	rs := s.ranges[d.Name]
+	streams := make([][]*xmldb.Node, 0, len(rs))
+	for _, r := range rs {
+		streams = append(streams, windowNodes(all, r))
+	}
+	return MergeByPre(streams...)
+}
+
+// windowNodes returns the subslice of a Pre-sorted node slice whose Pre
+// falls inside r.
+func windowNodes(nodes []*xmldb.Node, r Range) []*xmldb.Node {
+	i := sort.Search(len(nodes), func(k int) bool { return nodes[k].Pre >= r.Lo })
+	j := sort.Search(len(nodes), func(k int) bool { return nodes[k].Pre > r.Hi })
+	if i > j {
+		return nil
+	}
+	return nodes[i:j]
+}
+
+// MergeByPre merges Pre-sorted node streams into one Pre-sorted slice —
+// the document-order-preserving k-way merge of the gather step. Streams
+// need not be disjoint; duplicates are kept. The input slices are not
+// modified.
+func MergeByPre(streams ...[]*xmldb.Node) []*xmldb.Node {
+	total := 0
+	live := make([][]*xmldb.Node, 0, len(streams))
+	for _, st := range streams {
+		total += len(st)
+		if len(st) > 0 {
+			live = append(live, st)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*xmldb.Node, 0, total)
+	// heap[i] indexes into live; ordered by the head node's Pre. With
+	// shard-count-sized k the heap stays tiny, so this is O(total log k).
+	heap := make([]int, 0, len(live))
+	less := func(a, b int) bool { return live[heap[a]][0].Pre < live[heap[b]][0].Pre }
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && less(l, small) {
+				small = l
+			}
+			if r < len(heap) && less(r, small) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for si := range live {
+		heap = append(heap, si)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !less(c, p) {
+				break
+			}
+			heap[c], heap[p] = heap[p], heap[c]
+			c = p
+		}
+	}
+	for len(heap) > 0 {
+		si := heap[0]
+		out = append(out, live[si][0])
+		live[si] = live[si][1:]
+		if len(live[si]) == 0 {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"nalix/internal/dataset"
+	"nalix/internal/xmldb"
+	"nalix/internal/xmp"
+	"nalix/internal/xquery"
+)
+
+// skewedCorpus builds a bib document whose top-level entries have
+// adversarially skewed subtree sizes: a few giant books among many tiny
+// ones, in a seeded random arrangement.
+func skewedCorpus(tb testing.TB, entries int, seed int64) *xmldb.Document {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := xmldb.NewBuilder("skew.xml")
+	b.Open("bib")
+	for i := 0; i < entries; i++ {
+		b.Open("book", "year", fmt.Sprintf("%d", 1990+i%9))
+		b.Leaf("title", fmt.Sprintf("Title %03d", i))
+		authors := 1
+		if rng.Intn(7) == 0 {
+			// A giant entry: two orders of magnitude above the typical.
+			authors = 100 + rng.Intn(200)
+		}
+		for a := 0; a < authors; a++ {
+			b.Open("author")
+			b.Leaf("last", fmt.Sprintf("Last%03d", rng.Intn(50)))
+			b.Leaf("first", fmt.Sprintf("First%03d", a))
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.Document()
+}
+
+// entryRangesMustBeWhole asserts the partition invariants: ranges are
+// contiguous, cover [0, Size-1] exactly, and never split a top-level
+// entry subtree.
+func checkPartition(t *testing.T, d *xmldb.Document, rs []Range, n int) {
+	t.Helper()
+	if len(rs) != n {
+		t.Fatalf("got %d ranges, want %d", len(rs), n)
+	}
+	lo := 0
+	for k, r := range rs {
+		if r.Lo != lo {
+			t.Fatalf("shard %d: Lo = %d, want %d (ranges must be contiguous)", k, r.Lo, lo)
+		}
+		if r.Hi >= r.Lo {
+			lo = r.Hi + 1
+		}
+	}
+	if lo != d.Size() {
+		t.Fatalf("ranges cover [0,%d), want [0,%d)", lo, d.Size())
+	}
+	// No entry subtree is split: an entry's whole Pre interval lands in
+	// the range that contains its first node.
+	root := d.RootElement()
+	var entries []*xmldb.Node
+	for _, c := range root.Children {
+		if c.Kind == xmldb.ElementNode {
+			entries = append(entries, c)
+		}
+	}
+	for ei, entry := range entries {
+		end := d.Size() - 1
+		if ei+1 < len(entries) {
+			end = entries[ei+1].Pre - 1
+		}
+		for _, r := range rs {
+			if entry.Pre >= r.Lo && entry.Pre <= r.Hi && end > r.Hi {
+				t.Fatalf("entry at Pre %d (ends %d) split across shard boundary at %d", entry.Pre, end, r.Hi)
+			}
+		}
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	for _, entries := range []int{1, 3, 50, 300} {
+		d := skewedCorpus(t, entries, int64(entries))
+		for _, n := range []int{1, 2, 7, 16} {
+			t.Run(fmt.Sprintf("entries=%d/shards=%d", entries, n), func(t *testing.T) {
+				checkPartition(t, d, Partition(d, n), n)
+			})
+		}
+	}
+}
+
+// TestMergedStreamPreSorted is the document-order property test: for
+// every shard count and an adversarially skewed corpus, the k-way merge
+// of the per-shard label streams is Pre-sorted and identical to the
+// unsharded stream.
+func TestMergedStreamPreSorted(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		d := skewedCorpus(t, 200, seed)
+		for _, n := range []int{1, 2, 7, 16} {
+			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, n), func(t *testing.T) {
+				rs := Partition(d, n)
+				checkPartition(t, d, rs, n)
+				for _, label := range []string{"book", "author", "last", "title", "year"} {
+					all := d.NodesByLabel(label)
+					streams := make([][]*xmldb.Node, n)
+					for k, r := range rs {
+						streams[k] = windowNodes(all, r)
+					}
+					// Feed the streams in reversed shard order: the merge
+					// must not depend on argument order.
+					rev := make([][]*xmldb.Node, n)
+					for k := range streams {
+						rev[n-1-k] = streams[k]
+					}
+					merged := MergeByPre(rev...)
+					if len(merged) != len(all) {
+						t.Fatalf("label %s: merged %d nodes, want %d", label, len(merged), len(all))
+					}
+					for i := range merged {
+						if i > 0 && merged[i-1].Pre > merged[i].Pre {
+							t.Fatalf("label %s: merged stream not Pre-sorted at %d", label, i)
+						}
+						if merged[i] != all[i] {
+							t.Fatalf("label %s: merged[%d] differs from document order", label, i)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMergeByPreOverlappingStreams(t *testing.T) {
+	d := skewedCorpus(t, 40, 7)
+	all := d.NodesByLabel("author")
+	// Overlapping, duplicated streams: merge keeps every occurrence and
+	// stays sorted.
+	merged := MergeByPre(all[:30], all[10:], nil, all[:0])
+	if want := len(all[:30]) + len(all[10:]); len(merged) != want {
+		t.Fatalf("merged %d nodes, want %d", len(merged), want)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Pre > merged[i].Pre {
+			t.Fatalf("merged stream not Pre-sorted at %d", i)
+		}
+	}
+}
+
+func xmpStore(tb testing.TB, d *xmldb.Document, n int) *Store {
+	tb.Helper()
+	s := NewStore(n, xquery.NewEngine())
+	s.AddDocument(d)
+	return s
+}
+
+// TestCrossShardingParity runs the full XMP task suite against stores
+// with 1, 4 and 16 shards and requires byte-identical answers to the
+// unsharded engine — the sharded twin of the cross-strategy parity test.
+func TestCrossShardingParity(t *testing.T) {
+	d := dataset.Generate(1)
+	full := xquery.NewEngine()
+	full.AddDocument(d)
+	for _, task := range xmp.Tasks() {
+		expr, err := xquery.Parse(task.Gold)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", task.ID, err)
+		}
+		want, err := full.Eval(expr)
+		if err != nil {
+			t.Fatalf("%s: unsharded eval: %v", task.ID, err)
+		}
+		wantS := strings.Join(xquery.FlattenValues(want), "\n")
+		for _, n := range []int{1, 4, 16} {
+			s := xmpStore(t, d, n)
+			got, err := s.Eval(expr)
+			if err != nil {
+				t.Fatalf("%s: %d shards: %v", task.ID, n, err)
+			}
+			if gotS := strings.Join(xquery.FlattenValues(got), "\n"); gotS != wantS {
+				t.Errorf("%s: %d shards: answers differ from unsharded engine\nwant %d values, got %d", task.ID, n, len(want), len(got))
+			}
+		}
+	}
+}
+
+// TestScatterGatherConcurrent exercises the worker pool from many client
+// goroutines at once; run under -race this is the scatter-path race
+// check (one shared prewarmed document, 16 windowed engines).
+func TestScatterGatherConcurrent(t *testing.T) {
+	d := skewedCorpus(t, 150, 42)
+	s := xmpStore(t, d, 16)
+	s.SetWorkers(4)
+	queries := []string{
+		`for $b in doc("skew.xml")//book, $t in doc("skew.xml")//title where mqf($b, $t) and $b/@year = "1994" return $t`,
+		`for $l in doc("skew.xml")//last return $l`,
+		`for $b in doc("skew.xml")//book order by $b/title return $b/title`, // fallback path
+	}
+	want := make([]string, len(queries))
+	exprs := make([]xquery.Expr, len(queries))
+	for i, q := range queries {
+		expr, err := xquery.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs[i] = expr
+		seq, err := s.Eval(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = strings.Join(xquery.FlattenValues(seq), "\n")
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				i := (g + rep) % len(queries)
+				seq, err := s.Eval(exprs[i])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got := strings.Join(xquery.FlattenValues(seq), "\n"); got != want[i] {
+					errc <- fmt.Errorf("goroutine %d: query %d: concurrent answer differs", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestNonShardableFallsBack(t *testing.T) {
+	d := skewedCorpus(t, 30, 3)
+	s := xmpStore(t, d, 4)
+	full := xquery.NewEngine()
+	full.AddDocument(d)
+	for _, q := range []string{
+		`for $b in doc("skew.xml")//book order by $b/title return $b/title`,
+		`//title`,
+	} {
+		want, err := full.Query(q)
+		if err != nil {
+			t.Fatalf("%q: unsharded: %v", q, err)
+		}
+		expr, err := xquery.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Eval(expr)
+		if err != nil {
+			t.Fatalf("%q: store: %v", q, err)
+		}
+		if strings.Join(xquery.FlattenValues(got), "\n") != strings.Join(xquery.FlattenValues(want), "\n") {
+			t.Errorf("%q: fallback answer differs from unsharded engine", q)
+		}
+	}
+}
+
+// TestScaleParity is the CI scale smoke: point NALIX_SCALE_CORPUS at a
+// generated corpus (cmd/dblpgen -stream -scale 14 → ~1M nodes) and the
+// test checks 4-shard parity on an XMP subset. Skipped when unset so
+// the ordinary test run stays fast.
+func TestScaleParity(t *testing.T) {
+	path := os.Getenv("NALIX_SCALE_CORPUS")
+	if path == "" {
+		t.Skip("NALIX_SCALE_CORPUS not set; scale smoke runs in CI")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := xmldb.Parse("dblp.xml", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corpus: %d nodes", d.Size())
+	full := xquery.NewEngine()
+	full.AddDocument(d)
+	s := xmpStore(t, d, 4)
+	for _, id := range []string{"Q1", "Q4", "Q9"} {
+		task := xmp.TaskByID(id)
+		expr, err := xquery.Parse(task.Gold)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		want, err := full.Eval(expr)
+		if err != nil {
+			t.Fatalf("%s: unsharded: %v", id, err)
+		}
+		got, err := s.Eval(expr)
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", id, err)
+		}
+		if strings.Join(xquery.FlattenValues(got), "\n") != strings.Join(xquery.FlattenValues(want), "\n") {
+			t.Errorf("%s: 4-shard answers differ from unsharded engine at scale", id)
+		}
+	}
+}

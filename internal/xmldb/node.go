@@ -150,6 +150,21 @@ type Document struct {
 // "1994" and "1994.0" collide.
 func NormalizeValue(s string) string {
 	s = strings.ToLower(strings.TrimSpace(s))
+	// ParseFloat allocates its error value and most values are not
+	// numbers; reject strings that cannot start a float without calling
+	// it. Every float ParseFloat accepts starts with a digit, sign, dot,
+	// or inf/nan letter (the input is already lowercased), so the filter
+	// never changes the outcome.
+	if len(s) == 0 {
+		return s
+	}
+	switch c := s[0]; {
+	case c >= '0' && c <= '9':
+	case c == '+' || c == '-' || c == '.':
+	case c == 'i' || c == 'n':
+	default:
+		return s
+	}
 	if f, err := strconv.ParseFloat(s, 64); err == nil {
 		if f == float64(int64(f)) {
 			return strconv.FormatInt(int64(f), 10)
@@ -161,21 +176,63 @@ func NormalizeValue(s string) string {
 
 // NodesByLabelValue returns the nodes with the given label whose
 // normalized atomized value equals the normalized value, in document
-// order. The index is built on first use per label.
+// order, or nil when the label does not occur. The index is built on
+// first use per label; probes for absent labels allocate nothing and
+// write nothing, so a document whose present labels have been probed
+// (or prewarmed — see PrewarmValueIndexes) can be shared read-only
+// across concurrent evaluators.
 func (d *Document) NodesByLabelValue(label, value string) []*Node {
-	if d.byValue == nil {
-		d.byValue = make(map[string]map[string][]*Node)
-	}
 	idx, ok := d.byValue[label]
 	if !ok {
+		if _, present := d.byLabel[label]; !present {
+			// Miss path: an absent label can never have value matches.
+			// Returning early keeps the probe allocation- and write-free
+			// (the scatter path multiplies probes by shard count).
+			return nil
+		}
 		idx = make(map[string][]*Node)
+		for _, n := range d.byLabel[label] {
+			key := NormalizeValue(n.Value())
+			idx[key] = append(idx[key], n)
+		}
+		if d.byValue == nil {
+			d.byValue = make(map[string]map[string][]*Node, len(d.byLabel))
+		}
+		d.byValue[label] = idx
+	}
+	return idx[NormalizeValue(value)]
+}
+
+// PrewarmValueIndexes eagerly builds the per-label value index for every
+// label and the document-wide value index, so later NodesByLabelValue /
+// NodesWithValue calls are pure reads. The sharded store calls this once
+// at load time: shard evaluators then probe one shared document from
+// many goroutines without synchronization.
+func (d *Document) PrewarmValueIndexes() {
+	if d.byValue == nil {
+		d.byValue = make(map[string]map[string][]*Node, len(d.byLabel))
+	}
+	for _, label := range d.labels {
+		if _, ok := d.byValue[label]; ok {
+			continue
+		}
+		idx := make(map[string][]*Node)
 		for _, n := range d.byLabel[label] {
 			key := NormalizeValue(n.Value())
 			idx[key] = append(idx[key], n)
 		}
 		d.byValue[label] = idx
 	}
-	return idx[NormalizeValue(value)]
+	if d.anyValue == nil {
+		d.anyValue = make(map[string][]*Node)
+		for _, n := range d.nodes {
+			if n.Kind != ElementNode && n.Kind != AttributeNode {
+				continue
+			}
+			key := strings.ToLower(strings.TrimSpace(n.Value()))
+			d.anyValue[key] = append(d.anyValue[key], n)
+		}
+	}
 }
 
 // RootElement returns the top-level element of the document.

@@ -1,0 +1,134 @@
+package xquery
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Evaluation windows are the engine-side half of the sharded store
+// (internal/shard): a window restricts the *driving clause* of top-level
+// FLWOR evaluations — the first for-clause in author order, the one whose
+// bindings determine result order — to a contiguous Pre-range of one
+// document. Every other clause, conjunct, nested FLWOR and path step
+// still sees the whole document, so a windowed evaluation produces
+// exactly the tuples whose driving binding falls inside the window.
+//
+// Correctness argument (DESIGN.md §15): for a FLWOR without order-by,
+// result order is driven by the original first for-variable — directly
+// when clauses were not reordered (the driving clause is the outermost
+// loop and its domain is Pre-sorted under every strategy), and via the
+// docKeys restoration sort (whose primary key is that same variable's
+// Pre) when they were. Windows that partition [0, maxPre] into
+// contiguous ranges therefore partition the tuple space by driving
+// binding, and concatenating per-window results in range order
+// reproduces the unwindowed result byte for byte.
+
+// ErrNotShardable is returned (wrapped) when a windowed engine is asked
+// to evaluate an expression whose results cannot be partitioned by a
+// driving clause: a non-FLWOR expression, an order-by query, or a FLWOR
+// whose first for-clause does not range over a label domain. Callers
+// (the sharded store) route such queries to an unwindowed engine
+// instead; seeing this error means a query bypassed that routing, and
+// evaluating it per shard would have duplicated its results.
+var ErrNotShardable = fmt.Errorf("xquery: windowed engine cannot partition this query by a driving clause")
+
+// evalWindow is one document's Pre-range restriction, inclusive on both
+// ends.
+type evalWindow struct {
+	lo, hi int
+}
+
+// SetEvalWindow restricts top-level FLWOR evaluations whose driving
+// clause ranges over the named document to driving bindings with
+// lo <= Pre <= hi (inclusive). An empty name targets the default
+// document. This is configuration: call it before evaluating
+// concurrently. Windowed engines refuse non-shardable expressions with
+// ErrNotShardable instead of silently evaluating them whole — see
+// Shardable for the routing predicate.
+func (e *Engine) SetEvalWindow(docName string, lo, hi int) {
+	if docName == "" {
+		docName = e.defName
+	}
+	if e.windows == nil {
+		e.windows = make(map[string]evalWindow)
+	}
+	e.windows[docName] = evalWindow{lo: lo, hi: hi}
+}
+
+// Windowed reports whether any evaluation window is set.
+func (e *Engine) Windowed() bool { return len(e.windows) > 0 }
+
+// Shardable reports whether expr's results can be partitioned by
+// windowing a driving clause: expr is a FLWOR without order-by, its
+// clause variables are distinct, and its first for-clause (in author
+// order) ranges over a label domain (doc//label) of a loaded document.
+// Order-by queries are excluded because a global sort cannot be
+// reconstructed by concatenating per-window sorts; everything else
+// falls out of the correctness argument in the package comment above.
+func (e *Engine) Shardable(expr Expr) bool {
+	_, _, ok := e.drivingClause(expr)
+	return ok
+}
+
+// drivingClause resolves expr's driving clause: the original-order first
+// for-clause, which must range over a label domain. Returns the bound
+// variable and the name of the document it ranges over.
+func (e *Engine) drivingClause(expr Expr) (varName, docName string, ok bool) {
+	f, isF := expr.(*FLWOR)
+	if !isF || len(f.OrderBy) > 0 {
+		return "", "", false
+	}
+	seen := make(map[string]bool, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		if seen[cl.Var] {
+			// A rebound variable makes "which binding drives result
+			// order" ambiguous; stay on the unwindowed path.
+			return "", "", false
+		}
+		seen[cl.Var] = true
+	}
+	for _, cl := range f.Clauses {
+		if cl.Kind != ForClause {
+			continue
+		}
+		d, _, isLabel := e.labelDomain(cl.Source)
+		if !isLabel {
+			return "", "", false
+		}
+		return cl.Var, d.Name, true
+	}
+	return "", "", false
+}
+
+// windowSequence restricts a driving-clause binding domain to the nodes
+// with lo <= Pre <= hi. Domains produced by every strategy are
+// Pre-sorted node sequences, so the restriction is a binary-searched
+// subslice; a domain that unexpectedly carries non-node items (which a
+// label domain cannot produce) falls back to a linear filter.
+func windowSequence(src Sequence, lo, hi int) Sequence {
+	if len(src) == 0 {
+		return src
+	}
+	first, okFirst := src[0].(NodeItem)
+	last, okLast := src[len(src)-1].(NodeItem)
+	if okFirst && okLast && first.Node.Pre <= last.Node.Pre {
+		i := sort.Search(len(src), func(k int) bool {
+			n, isNode := src[k].(NodeItem)
+			return !isNode || n.Node.Pre >= lo
+		})
+		j := sort.Search(len(src), func(k int) bool {
+			n, isNode := src[k].(NodeItem)
+			return !isNode || n.Node.Pre > hi
+		})
+		if i <= j {
+			return src[i:j]
+		}
+	}
+	out := make(Sequence, 0, len(src))
+	for _, it := range src {
+		if n, isNode := it.(NodeItem); isNode && n.Node.Pre >= lo && n.Node.Pre <= hi {
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package xquery
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nalix/internal/xmldb"
+)
+
+func windowCorpus(t *testing.T) *xmldb.Document {
+	t.Helper()
+	b := xmldb.NewBuilder("bib.xml")
+	b.Open("bib")
+	for i := 0; i < 40; i++ {
+		b.Open("book", "year", fmt.Sprintf("%d", 1990+i%5))
+		b.Leaf("title", fmt.Sprintf("Title %02d", i))
+		b.Open("author")
+		b.Leaf("last", fmt.Sprintf("Last%02d", i%7))
+		b.Close()
+		b.Close()
+	}
+	b.Close()
+	return b.Document()
+}
+
+const windowQuery = `for $b in doc("bib.xml")//book, $t in doc("bib.xml")//title ` +
+	`where mqf($b, $t) and $b/@year = "1992" return $t`
+
+// TestWindowedUnionMatchesUnwindowed splits [0, maxPre] into contiguous
+// windows at top-level entry boundaries and checks that concatenating
+// the windowed evaluations reproduces the unwindowed result exactly —
+// the invariant the sharded store's gather step relies on.
+func TestWindowedUnionMatchesUnwindowed(t *testing.T) {
+	d := windowCorpus(t)
+	full := NewEngine()
+	full.AddDocument(d)
+	want, err := full.Query(windowQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("unwindowed query returned nothing; test corpus broken")
+	}
+
+	// Cut between entries: every book subtree starts at the book node's
+	// Pre and ends right before the next book (or at maxPre).
+	books := d.NodesByLabel("book")
+	cut := books[len(books)/2].Pre
+	expr, err := Parse(windowQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sequence
+	for _, w := range [][2]int{{0, cut - 1}, {cut, d.Size() - 1}} {
+		eng := NewEngine()
+		eng.AddDocument(d)
+		eng.SetEvalWindow("bib.xml", w[0], w[1])
+		part, err := eng.Eval(expr)
+		if err != nil {
+			t.Fatalf("window %v: %v", w, err)
+		}
+		got = append(got, part...)
+	}
+	wantS := strings.Join(FlattenValues(want), "\n")
+	gotS := strings.Join(FlattenValues(got), "\n")
+	if wantS != gotS {
+		t.Fatalf("windowed union differs from unwindowed result:\nwant %q\ngot  %q", wantS, gotS)
+	}
+}
+
+func TestWindowedEngineRefusesNonShardable(t *testing.T) {
+	d := windowCorpus(t)
+	eng := NewEngine()
+	eng.AddDocument(d)
+	eng.SetEvalWindow("bib.xml", 0, d.Size()-1)
+
+	cases := []string{
+		// order-by: a global sort cannot be rebuilt from window concatenation
+		`for $b in doc("bib.xml")//book order by $b/title return $b/title`,
+		// non-FLWOR expression
+		`//title`,
+	}
+	for _, q := range cases {
+		if _, err := eng.Query(q); !errors.Is(err, ErrNotShardable) {
+			t.Errorf("query %q: got error %v, want ErrNotShardable", q, err)
+		}
+	}
+
+	// The same expressions evaluate fine on an unwindowed engine.
+	plain := NewEngine()
+	plain.AddDocument(d)
+	for _, q := range cases {
+		if _, err := plain.Query(q); err != nil {
+			t.Errorf("unwindowed engine rejected %q: %v", q, err)
+		}
+	}
+}
+
+func TestShardablePredicate(t *testing.T) {
+	d := windowCorpus(t)
+	eng := NewEngine()
+	eng.AddDocument(d)
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{windowQuery, true},
+		{`for $b in doc("bib.xml")//book order by $b/title return $b`, false},
+		{`//title`, false},
+		{`for $b in doc("bib.xml")//book return $b/title`, true},
+	}
+	for _, c := range cases {
+		expr, err := Parse(c.q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.q, err)
+		}
+		if got := eng.Shardable(expr); got != c.want {
+			t.Errorf("Shardable(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"nalix/internal/keyword"
 	"nalix/internal/obs"
 	"nalix/internal/ontology"
+	"nalix/internal/shard"
 	"nalix/internal/xmldb"
 	"nalix/internal/xquery"
 )
@@ -55,6 +56,13 @@ type Engine struct {
 	translators map[string]*core.Translator
 	keywords    map[string]*keyword.Engine
 	defName     string
+
+	// store, when non-nil, evaluates queries scatter-gather across N
+	// Pre-range shards of each document (see SetShards and
+	// internal/shard); e.xq doubles as its fallback engine for queries
+	// that cannot be partitioned, so answers are identical either way.
+	store  *shard.Store
+	shards int
 
 	// rec retains finished traces when tracing is enabled; nil keeps
 	// every query on the untraced, allocation-free path.
@@ -248,9 +256,65 @@ func (e *Engine) LoadXMLString(name, xml string) error {
 	return e.LoadXML(name, strings.NewReader(xml))
 }
 
+// LoadDocument registers an already-built document, skipping the
+// serialize/parse round-trip LoadXMLString would cost — the path scale
+// tools use to serve generated million-node corpora directly. The
+// document's lazy value indexes are built eagerly so one document can
+// be shared read-only between several engines (a server's session
+// pool). Like the other Load methods this is configuration: call before
+// querying concurrently.
+func (e *Engine) LoadDocument(doc *xmldb.Document) {
+	doc.PrewarmValueIndexes()
+	e.addDoc(doc)
+}
+
+// SetShards partitions every loaded (and subsequently loaded) document
+// into n contiguous subtree-granularity shards and evaluates queries
+// scatter-gather across them on a bounded worker pool; n <= 1 restores
+// single-engine evaluation. Answers are byte-identical in either mode —
+// queries whose results cannot be partitioned (order-by, non-FLWOR)
+// fall back to the unsharded engine automatically. This is
+// configuration: call it before querying concurrently.
+func (e *Engine) SetShards(n int) {
+	e.corpusGen.Add(1) // sharded and unsharded runs never share cached results
+	if n <= 1 {
+		e.store = nil
+		e.shards = 1
+		return
+	}
+	e.shards = n
+	e.store = shard.NewStore(n, e.xq)
+	for _, name := range e.Documents() {
+		if d, ok := e.xq.Document(name); ok {
+			e.store.AddDocument(d)
+		}
+	}
+}
+
+// Shards returns the configured shard count (1 when sharding is off).
+func (e *Engine) Shards() int {
+	if e.store == nil {
+		return 1
+	}
+	return e.shards
+}
+
+// evalTraced evaluates a compiled expression, routing through the
+// sharded store when sharding is enabled.
+func (e *Engine) evalTraced(expr xquery.Expr, sp *obs.Span) (xquery.Sequence, error) {
+	if e.store != nil {
+		return e.store.EvalTraced(expr, sp)
+	}
+	return e.xq.EvalTraced(expr, sp)
+}
+
 func (e *Engine) addDoc(doc *xmldb.Document) {
 	e.corpusGen.Add(1)
-	e.xq.AddDocument(doc)
+	if e.store != nil {
+		e.store.AddDocument(doc) // also registers with e.xq, its fallback
+	} else {
+		e.xq.AddDocument(doc)
+	}
 	tr := core.NewTranslator(doc, e.ont)
 	if e.transCache != nil {
 		tr.SetCache(e.transCache)
@@ -270,6 +334,10 @@ func (e *Engine) addDoc(doc *xmldb.Document) {
 // document over an existing name flushes the replaced document's counts
 // automatically.
 func (e *Engine) Close() {
+	if e.store != nil {
+		e.store.FlushStats() // covers e.xq, its fallback engine
+		return
+	}
 	e.xq.FlushStats()
 }
 
@@ -503,7 +571,7 @@ func (e *Engine) askUncached(docName, english string, t *obs.Trace) (*Answer, er
 		return ans, nil
 	}
 	esp := root.Start("eval")
-	seq, err := e.xq.EvalTraced(res.Query, esp)
+	seq, err := e.evalTraced(res.Query, esp)
 	esp.End()
 	if err != nil {
 		err = fmt.Errorf("nalix: evaluating translation: %w", err)
@@ -553,7 +621,7 @@ func (e *Engine) queryWith(xq string, t *obs.Trace) (*Answer, error) {
 		return nil, err
 	}
 	esp := root.Start("eval")
-	seq, err := e.xq.EvalTraced(expr, esp)
+	seq, err := e.evalTraced(expr, esp)
 	esp.End()
 	if err != nil {
 		e.failTrace(t, err)
